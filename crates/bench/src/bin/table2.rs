@@ -1,0 +1,16 @@
+//! Regenerates Table II of the paper: Mr.TPL vs the DAC'12 TPL-aware router
+//! on the ISPD-2018-like suite.
+//!
+//! ```bash
+//! cargo run --release -p tpl-bench --bin table2 [case indices] [--scale s]
+//! ```
+
+fn main() {
+    let (cases, scale) = tpl_bench::parse_cli(std::env::args().skip(1));
+    eprintln!(
+        "Table II — Mr.TPL vs DAC'12 baseline (cases {:?}, scale {scale})",
+        cases
+    );
+    let table = tpl_bench::render_table2(&cases, scale);
+    println!("{table}");
+}

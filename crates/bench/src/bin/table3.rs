@@ -1,0 +1,17 @@
+//! Regenerates Table III of the paper: Mr.TPL vs OpenMPL-style layout
+//! decomposition of the colour-blind router's output, on the ISPD-2019-like
+//! suite.
+//!
+//! ```bash
+//! cargo run --release -p tpl-bench --bin table3 [case indices] [--scale s]
+//! ```
+
+fn main() {
+    let (cases, scale) = tpl_bench::parse_cli(std::env::args().skip(1));
+    eprintln!(
+        "Table III — Mr.TPL vs OpenMPL-style decomposition (cases {:?}, scale {scale})",
+        cases
+    );
+    let table = tpl_bench::render_table3(&cases, scale);
+    println!("{table}");
+}

@@ -1,0 +1,270 @@
+//! Benchmark harness reproducing the paper's tables.
+//!
+//! The crate provides the plumbing shared by the table-generator binaries
+//! (`table2`, `table3`) and the Criterion benches: run one benchmark case
+//! through the global router plus one of the three competing methods and
+//! collect a [`CaseRecord`] with the columns of the paper's tables.
+//!
+//! * **Table II** (`table2`): Mr.TPL vs the DAC'12 TPL-aware router on the
+//!   ISPD-2018-like suite — conflicts, stitches, ISPD cost, runtime, speedup.
+//! * **Table III** (`table3`): Mr.TPL vs OpenMPL-style decomposition of the
+//!   colour-blind Dr.CU-like router's output on the ISPD-2019-like suite —
+//!   conflicts and stitches.
+
+#![warn(missing_docs)]
+
+use mrtpl_core::{MrTplConfig, MrTplRouter};
+use std::time::Instant;
+use tpl_dac12::{Dac12Config, Dac12Router};
+use tpl_decompose::{DecomposeConfig, Decomposer};
+use tpl_design::{Design, RouteGuides};
+use tpl_drcu::{DrCuConfig, DrCuRouter};
+use tpl_global::{GlobalConfig, GlobalRouter};
+use tpl_ispd::{score_solution, CaseParams, ScoreWeights};
+use tpl_metrics::{format_table, CaseRecord, SuiteSummary, TableRow};
+
+/// Generates a case and its route guides (the part shared by every method).
+pub fn prepare_case(params: &CaseParams) -> (Design, RouteGuides) {
+    let design = params.generate();
+    let guides = GlobalRouter::new(GlobalConfig::default()).route(&design);
+    (design, guides)
+}
+
+/// Runs Mr.TPL on a prepared case.
+pub fn run_mrtpl(
+    design: &Design,
+    guides: &RouteGuides,
+    config: &MrTplConfig,
+) -> (CaseRecord, mrtpl_core::MrTplResult) {
+    let result = MrTplRouter::new(*config).route(design, guides);
+    let cost = score_solution(design, guides, &result.solution, &ScoreWeights::default());
+    (
+        CaseRecord {
+            case: design.name().to_string(),
+            conflicts: result.stats.conflicts,
+            stitches: result.stats.stitches,
+            cost: cost.total(),
+            runtime_seconds: result.stats.runtime_seconds,
+        },
+        result,
+    )
+}
+
+/// Runs the DAC'12 baseline on a prepared case.
+pub fn run_dac12(
+    design: &Design,
+    guides: &RouteGuides,
+    config: &Dac12Config,
+) -> (CaseRecord, tpl_dac12::Dac12Result) {
+    let result = Dac12Router::new(*config).route(design, guides);
+    let cost = score_solution(design, guides, &result.solution, &ScoreWeights::default());
+    (
+        CaseRecord {
+            case: design.name().to_string(),
+            conflicts: result.stats.conflicts,
+            stitches: result.stats.stitches,
+            cost: cost.total(),
+            runtime_seconds: result.stats.runtime_seconds,
+        },
+        result,
+    )
+}
+
+/// Runs the Dr.CU-like colour-blind router followed by the OpenMPL-style
+/// decomposition on a prepared case.
+pub fn run_decompose(
+    design: &Design,
+    guides: &RouteGuides,
+    route_config: &DrCuConfig,
+    decompose_config: &DecomposeConfig,
+) -> (CaseRecord, tpl_decompose::DecomposeResult) {
+    let start = Instant::now();
+    let routed = DrCuRouter::new(*route_config).route(design, guides);
+    let result = Decomposer::new(*decompose_config).decompose(design, &routed.solution);
+    let cost = score_solution(design, guides, &routed.solution, &ScoreWeights::default());
+    (
+        CaseRecord {
+            case: design.name().to_string(),
+            conflicts: result.stats.conflicts,
+            stitches: result.stats.stitches,
+            cost: cost.total(),
+            runtime_seconds: start.elapsed().as_secs_f64(),
+        },
+        result,
+    )
+}
+
+/// Renders Table II (Mr.TPL vs DAC'12) for the given ISPD-2018-like case
+/// indices, optionally scaled down.
+pub fn render_table2(cases: &[usize], scale: f64) -> String {
+    let mut baseline_rows = Vec::new();
+    let mut ours_rows = Vec::new();
+    let mut rows = Vec::new();
+    for &idx in cases {
+        let params = scaled_case(CaseParams::ispd18_like(idx), scale);
+        let (design, guides) = prepare_case(&params);
+        let (dac, _) = run_dac12(&design, &guides, &Dac12Config::default());
+        let (ours, _) = run_mrtpl(&design, &guides, &MrTplConfig::default());
+        rows.push(TableRow::new([
+            format!("test{idx}"),
+            dac.conflicts.to_string(),
+            ours.conflicts.to_string(),
+            dac.stitches.to_string(),
+            ours.stitches.to_string(),
+            format!("{:.4e}", dac.cost),
+            format!("{:.4e}", ours.cost),
+            format!("{:.2}", dac.runtime_seconds),
+            format!("{:.2}", ours.runtime_seconds),
+            format!(
+                "{:.2}x",
+                tpl_metrics::safe_speedup(dac.runtime_seconds, ours.runtime_seconds)
+            ),
+        ]));
+        baseline_rows.push(dac);
+        ours_rows.push(ours);
+    }
+    let summary = SuiteSummary::from_records(&baseline_rows, &ours_rows);
+    let mut out = format_table(
+        &[
+            "case",
+            "conflict[5]",
+            "conflict ours",
+            "stitch[5]",
+            "stitch ours",
+            "cost[5]",
+            "cost ours",
+            "time[5] s",
+            "time ours s",
+            "speedup",
+        ],
+        &rows,
+    );
+    out.push_str(&format!(
+        "\navg: conflicts {:.2} -> {:.2} (improvement {:.2}%), stitches {:.2} -> {:.2} ({:.2}%), cost improvement {:.2}%, speedup {:.2}x\n",
+        summary.baseline_conflicts,
+        summary.ours_conflicts,
+        summary.conflict_improvement,
+        summary.baseline_stitches,
+        summary.ours_stitches,
+        summary.stitch_improvement,
+        summary.cost_improvement,
+        summary.speedup,
+    ));
+    out
+}
+
+/// Renders Table III (Mr.TPL vs OpenMPL-style decomposition) for the given
+/// ISPD-2019-like case indices, optionally scaled down.
+pub fn render_table3(cases: &[usize], scale: f64) -> String {
+    let mut baseline_rows = Vec::new();
+    let mut ours_rows = Vec::new();
+    let mut rows = Vec::new();
+    for &idx in cases {
+        let params = scaled_case(CaseParams::ispd19_like(idx), scale);
+        let (design, guides) = prepare_case(&params);
+        let (decomp, _) = run_decompose(
+            &design,
+            &guides,
+            &DrCuConfig::default(),
+            &DecomposeConfig::default(),
+        );
+        let (ours, _) = run_mrtpl(&design, &guides, &MrTplConfig::default());
+        rows.push(TableRow::new([
+            format!("test{idx}"),
+            decomp.conflicts.to_string(),
+            ours.conflicts.to_string(),
+            decomp.stitches.to_string(),
+            ours.stitches.to_string(),
+        ]));
+        baseline_rows.push(decomp);
+        ours_rows.push(ours);
+    }
+    let summary = SuiteSummary::from_records(&baseline_rows, &ours_rows);
+    let mut out = format_table(
+        &[
+            "case",
+            "conflict[2]",
+            "conflict ours",
+            "stitch[2]",
+            "stitch ours",
+        ],
+        &rows,
+    );
+    out.push_str(&format!(
+        "\navg: conflicts {:.2} -> {:.2} (improvement {:.2}%), stitches {:.2} -> {:.2} ({:.2}%)\n",
+        summary.baseline_conflicts,
+        summary.ours_conflicts,
+        summary.conflict_improvement,
+        summary.baseline_stitches,
+        summary.ours_stitches,
+        summary.stitch_improvement,
+    ));
+    out
+}
+
+fn scaled_case(params: CaseParams, scale: f64) -> CaseParams {
+    if (scale - 1.0).abs() < f64::EPSILON {
+        params
+    } else {
+        params.scaled(scale)
+    }
+}
+
+/// Parses the common `[case indices...] [--scale s]` CLI arguments of the
+/// table binaries.  With no explicit cases, all ten are run.
+pub fn parse_cli(args: impl Iterator<Item = String>) -> (Vec<usize>, f64) {
+    let mut cases = Vec::new();
+    let mut scale = 1.0;
+    let mut expect_scale = false;
+    for arg in args {
+        if expect_scale {
+            scale = arg.parse().unwrap_or(1.0);
+            expect_scale = false;
+        } else if arg == "--scale" {
+            expect_scale = true;
+        } else if let Ok(idx) = arg.parse::<usize>() {
+            if (1..=10).contains(&idx) {
+                cases.push(idx);
+            }
+        }
+    }
+    if cases.is_empty() {
+        cases = (1..=10).collect();
+    }
+    (cases, scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cli_parsing_defaults_to_all_cases() {
+        let (cases, scale) = parse_cli(Vec::<String>::new().into_iter());
+        assert_eq!(cases, (1..=10).collect::<Vec<_>>());
+        assert_eq!(scale, 1.0);
+    }
+
+    #[test]
+    fn cli_parsing_reads_cases_and_scale() {
+        let args = ["3", "5", "--scale", "0.5", "99"].map(String::from);
+        let (cases, scale) = parse_cli(args.into_iter());
+        assert_eq!(cases, vec![3, 5]);
+        assert_eq!(scale, 0.5);
+    }
+
+    #[test]
+    fn table2_runs_on_a_tiny_case() {
+        let text = render_table2(&[1], 0.3);
+        assert!(text.contains("test1"));
+        assert!(text.contains("speedup"));
+        assert!(text.contains("avg:"));
+    }
+
+    #[test]
+    fn table3_runs_on_a_tiny_case() {
+        let text = render_table3(&[1], 0.3);
+        assert!(text.contains("test1"));
+        assert!(text.contains("avg:"));
+    }
+}

@@ -1,0 +1,89 @@
+//! The three lithography masks.
+
+use std::fmt;
+
+/// One of the three TPL masks.
+///
+/// The paper encodes masks as bits of the colour state: red = `100`,
+/// green = `010`, blue = `001`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Mask {
+    /// Mask 1 (bit `100`).
+    Red,
+    /// Mask 2 (bit `010`).
+    Green,
+    /// Mask 3 (bit `001`).
+    Blue,
+}
+
+impl Mask {
+    /// All masks in deterministic order.
+    pub const ALL: [Mask; 3] = [Mask::Red, Mask::Green, Mask::Blue];
+
+    /// Dense index 0..3, usable for lookup tables.
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            Mask::Red => 0,
+            Mask::Green => 1,
+            Mask::Blue => 2,
+        }
+    }
+
+    /// The bit this mask occupies in a [`crate::ColorState`].
+    #[inline]
+    pub const fn bit(self) -> u8 {
+        match self {
+            Mask::Red => 0b100,
+            Mask::Green => 0b010,
+            Mask::Blue => 0b001,
+        }
+    }
+
+    /// The mask with the given dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 3`.
+    #[inline]
+    pub fn from_index(idx: usize) -> Mask {
+        Mask::ALL[idx]
+    }
+}
+
+impl fmt::Display for Mask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Mask::Red => "red",
+            Mask::Green => "green",
+            Mask::Blue => "blue",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_and_bits_are_consistent() {
+        for (i, m) in Mask::ALL.iter().enumerate() {
+            assert_eq!(m.index(), i);
+            assert_eq!(Mask::from_index(i), *m);
+        }
+        assert_eq!(Mask::Red.bit() | Mask::Green.bit() | Mask::Blue.bit(), 0b111);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_index_rejects_out_of_range() {
+        Mask::from_index(3);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Mask::Red.to_string(), "red");
+        assert_eq!(Mask::Blue.to_string(), "blue");
+    }
+}

@@ -1,0 +1,213 @@
+//! The 3-bit colour state of Table I.
+
+use crate::Mask;
+use std::fmt;
+
+/// A set of candidate masks for a wire segment, encoded in three bits
+/// (`100` = red, `010` = green, `001` = blue), exactly as in Table I of the
+/// paper.
+///
+/// During Mr.TPL's search a segment can keep several candidates alive at
+/// once; the backtrace phase narrows every segment to a single mask.
+///
+/// # Examples
+///
+/// ```
+/// use tpl_color::{ColorState, Mask};
+/// let s = ColorState::from_mask(Mask::Red).union(ColorState::from_mask(Mask::Blue));
+/// assert_eq!(s.to_string(), "101");
+/// assert!(s.contains(Mask::Red));
+/// assert!(!s.contains(Mask::Green));
+/// assert_eq!(s.intersect(ColorState::from_mask(Mask::Blue)).single(), Some(Mask::Blue));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ColorState(u8);
+
+impl ColorState {
+    /// The empty state (`000`): no mask is allowed.  In the paper's Table I
+    /// this encoding reads "none color is allowed"; during routing it marks a
+    /// dead end that forces a stitch or a conflict.
+    pub const NONE: ColorState = ColorState(0);
+    /// The full state (`111`): any mask is allowed.
+    pub const ALL: ColorState = ColorState(0b111);
+
+    /// Creates a state from raw bits (only the low three bits are kept).
+    #[inline]
+    pub const fn from_bits(bits: u8) -> Self {
+        ColorState(bits & 0b111)
+    }
+
+    /// The state containing every mask.
+    #[inline]
+    pub const fn all() -> Self {
+        Self::ALL
+    }
+
+    /// The empty state.
+    #[inline]
+    pub const fn none() -> Self {
+        Self::NONE
+    }
+
+    /// The state containing exactly one mask.
+    #[inline]
+    pub const fn from_mask(mask: Mask) -> Self {
+        ColorState(mask.bit())
+    }
+
+    /// The raw 3-bit encoding.
+    #[inline]
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// `true` if the state allows `mask`.
+    #[inline]
+    pub const fn contains(self, mask: Mask) -> bool {
+        self.0 & mask.bit() != 0
+    }
+
+    /// `true` if no mask is allowed.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of allowed masks (0..=3).
+    #[inline]
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Set intersection: masks allowed by both states.
+    #[inline]
+    pub const fn intersect(self, other: ColorState) -> ColorState {
+        ColorState(self.0 & other.0)
+    }
+
+    /// Set union: masks allowed by either state.
+    #[inline]
+    pub const fn union(self, other: ColorState) -> ColorState {
+        ColorState(self.0 | other.0)
+    }
+
+    /// The state with `mask` removed.
+    #[inline]
+    pub const fn without(self, mask: Mask) -> ColorState {
+        ColorState(self.0 & !mask.bit())
+    }
+
+    /// The state with `mask` added.
+    #[inline]
+    pub const fn with(self, mask: Mask) -> ColorState {
+        ColorState(self.0 | mask.bit())
+    }
+
+    /// `true` if the two states share at least one mask (the "has common
+    /// color" test of Algorithm 3).
+    #[inline]
+    pub const fn shares_color(self, other: ColorState) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// If exactly one mask is allowed, returns it.
+    #[inline]
+    pub fn single(self) -> Option<Mask> {
+        if self.len() == 1 {
+            self.candidates().next()
+        } else {
+            None
+        }
+    }
+
+    /// The first allowed mask in (red, green, blue) order, used for
+    /// deterministic tie-breaking when committing a final colour.
+    #[inline]
+    pub fn first(self) -> Option<Mask> {
+        self.candidates().next()
+    }
+
+    /// Iterates over the allowed masks in deterministic order.
+    pub fn candidates(self) -> impl Iterator<Item = Mask> {
+        Mask::ALL.into_iter().filter(move |m| self.contains(*m))
+    }
+}
+
+impl From<Mask> for ColorState {
+    #[inline]
+    fn from(mask: Mask) -> Self {
+        ColorState::from_mask(mask)
+    }
+}
+
+impl fmt::Display for ColorState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:03b}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_encodings() {
+        assert_eq!(ColorState::none().to_string(), "000");
+        assert_eq!(ColorState::from_mask(Mask::Red).to_string(), "100");
+        assert_eq!(ColorState::from_mask(Mask::Green).to_string(), "010");
+        assert_eq!(ColorState::from_mask(Mask::Blue).to_string(), "001");
+        assert_eq!(
+            ColorState::from_mask(Mask::Red).with(Mask::Green).to_string(),
+            "110"
+        );
+        assert_eq!(
+            ColorState::from_mask(Mask::Red).with(Mask::Blue).to_string(),
+            "101"
+        );
+        assert_eq!(
+            ColorState::from_mask(Mask::Green).with(Mask::Blue).to_string(),
+            "011"
+        );
+        assert_eq!(ColorState::all().to_string(), "111");
+    }
+
+    #[test]
+    fn set_operations() {
+        let rg = ColorState::from_bits(0b110);
+        let gb = ColorState::from_bits(0b011);
+        assert_eq!(rg.intersect(gb), ColorState::from_mask(Mask::Green));
+        assert_eq!(rg.union(gb), ColorState::all());
+        assert!(rg.shares_color(gb));
+        assert!(!ColorState::from_mask(Mask::Red).shares_color(ColorState::from_mask(Mask::Blue)));
+        assert_eq!(rg.without(Mask::Red), ColorState::from_mask(Mask::Green));
+        assert_eq!(rg.len(), 2);
+    }
+
+    #[test]
+    fn single_and_first() {
+        assert_eq!(ColorState::from_mask(Mask::Blue).single(), Some(Mask::Blue));
+        assert_eq!(ColorState::all().single(), None);
+        assert_eq!(ColorState::all().first(), Some(Mask::Red));
+        assert_eq!(ColorState::none().first(), None);
+        assert_eq!(ColorState::none().single(), None);
+    }
+
+    #[test]
+    fn from_bits_masks_high_bits() {
+        assert_eq!(ColorState::from_bits(0xFF), ColorState::all());
+    }
+
+    #[test]
+    fn candidates_iterate_in_order() {
+        let s = ColorState::from_bits(0b101);
+        let v: Vec<Mask> = s.candidates().collect();
+        assert_eq!(v, vec![Mask::Red, Mask::Blue]);
+    }
+
+    #[test]
+    fn empty_state_is_empty() {
+        assert!(ColorState::none().is_empty());
+        assert!(!ColorState::from_mask(Mask::Red).is_empty());
+        assert_eq!(ColorState::none().len(), 0);
+    }
+}

@@ -1,0 +1,419 @@
+//! Final mask assignment and coloured-geometry emission.
+
+use crate::{ColorCostCache, NetBuffers};
+use std::collections::HashMap;
+use tpl_color::{ColorMap, ColorSetArena, Mask, SegSetId};
+use tpl_design::{Design, NetId, PinId, RouteSegment, RoutedNet, ViaInstance};
+use tpl_geom::Segment;
+use tpl_grid::{GridGraph, PinCoverage, VertexId};
+
+/// The fully coloured routing result of one net.
+#[derive(Clone, Debug, Default)]
+pub struct ColoredNet {
+    /// The routed geometry.
+    pub routed: RoutedNet,
+    /// The mask of each wire segment, parallel to `routed.segments`.
+    pub segment_masks: Vec<Option<Mask>>,
+    /// The mask used at each pin of the net (None when the pin ended up
+    /// untouched by any coloured wire, which only happens for failed nets).
+    pub pin_masks: Vec<(PinId, Option<Mask>)>,
+    /// Number of segSets (mask regions) the net was divided into.
+    pub seg_sets: usize,
+}
+
+impl ColoredNet {
+    /// Total number of stitches implied by the segment masks: touching
+    /// same-net segments on the same layer with different masks are counted
+    /// by the layout evaluator; this is just the number of mask regions - 1
+    /// as a quick internal indicator.
+    pub fn mask_regions(&self) -> usize {
+        self.seg_sets
+    }
+}
+
+/// Commits a final mask to every segSet of a net and emits the coloured
+/// geometry.
+///
+/// For every segSet the candidate mask with the smallest accumulated
+/// colour-pressure over its member vertices wins (deterministic tie-break on
+/// mask order).  Wire geometry is then emitted per path, splitting segments
+/// wherever the layer, the routing axis or the assigned mask changes.
+#[allow(clippy::too_many_arguments)]
+pub fn assign_and_emit(
+    grid: &GridGraph,
+    design: &Design,
+    coverage: &PinCoverage,
+    arena: &mut ColorSetArena,
+    buffers: &NetBuffers,
+    cache: &mut ColorCostCache,
+    map: &ColorMap,
+    net: NetId,
+    paths: &[Vec<VertexId>],
+) -> ColoredNet {
+    // 1. Group vertices by segSet.
+    let mut members: HashMap<SegSetId, Vec<VertexId>> = HashMap::new();
+    for path in paths {
+        for &v in path {
+            if let Some(vs) = buffers.ver_set(v) {
+                members.entry(arena.seg_of(vs)).or_default().push(v);
+            }
+        }
+    }
+
+    // 2. Pick a mask per segSet: candidate with the lowest pressure sum.
+    let mut seg_mask: HashMap<SegSetId, Mask> = HashMap::new();
+    let mut seg_ids: Vec<SegSetId> = members.keys().copied().collect();
+    seg_ids.sort_unstable();
+    for seg in seg_ids {
+        let state = arena.seg_state(seg);
+        let candidates: Vec<Mask> = if state.is_empty() {
+            Mask::ALL.to_vec()
+        } else {
+            state.candidates().collect()
+        };
+        let vertices = &members[&seg];
+        let mut best = candidates[0];
+        let mut best_pressure = u64::MAX;
+        for mask in candidates {
+            let pressure: u64 = vertices
+                .iter()
+                .map(|v| cache.pressure(grid, map, net, *v)[mask.index()] as u64)
+                .sum();
+            if pressure < best_pressure {
+                best_pressure = pressure;
+                best = mask;
+            }
+        }
+        arena.assign_mask(seg, best);
+        seg_mask.insert(seg, best);
+    }
+
+    let mask_of = |v: VertexId| -> Option<Mask> {
+        buffers
+            .ver_set(v)
+            .and_then(|vs| seg_mask.get(&arena.seg_of(vs)).copied())
+    };
+
+    // 3. Emit geometry path by path.
+    let mut out = ColoredNet {
+        seg_sets: seg_mask.len(),
+        ..ColoredNet::default()
+    };
+    for path in paths {
+        emit_path(grid, path, &mask_of, &mut out);
+    }
+
+    // 4. Pin masks.  A pin first inherits the mask of the wire that reaches
+    // it; if that mask already collides with a coloured feature of another
+    // net within `Dcolor` of the pin, the pin is re-coloured to the least
+    // conflicting candidate instead (paying a pin-access stitch, which the
+    // evaluator counts, rather than a hard colour conflict that no rip-up
+    // could ever repair because pins cannot move).
+    for &pin in design.net(net).pins() {
+        let wire_mask = coverage
+            .vertices(pin)
+            .iter()
+            .find_map(|v| mask_of(*v))
+            .or_else(|| {
+                // Fall back to the mask of the nearest routed vertex among
+                // all paths (the pin is reached through a covered vertex).
+                paths
+                    .iter()
+                    .flatten()
+                    .filter_map(|v| {
+                        let p = grid.point_of(*v);
+                        let pin_box = design.pin(pin).bbox()?;
+                        Some((pin_box.spacing_to_point(&p), mask_of(*v)?))
+                    })
+                    .min_by_key(|(d, _)| *d)
+                    .map(|(_, m)| m)
+            });
+
+        let mask = match wire_mask {
+            None => None,
+            Some(preferred) => {
+                let mut pressure = [0usize; 3];
+                for (layer, rect) in design.pin(pin).shapes() {
+                    let p = map.mask_pressure(net, *layer, rect);
+                    for m in 0..3 {
+                        pressure[m] += p[m];
+                    }
+                }
+                if pressure[preferred.index()] == 0 {
+                    Some(preferred)
+                } else {
+                    let best = Mask::ALL
+                        .into_iter()
+                        .min_by_key(|m| (pressure[m.index()], (*m != preferred) as usize, m.index()))
+                        .expect("three masks");
+                    Some(best)
+                }
+            }
+        };
+        out.pin_masks.push((pin, mask));
+    }
+    out
+}
+
+/// Emits one path as coloured segments and vias.
+fn emit_path(
+    grid: &GridGraph,
+    path: &[VertexId],
+    mask_of: &dyn Fn(VertexId) -> Option<Mask>,
+    out: &mut ColoredNet,
+) {
+    if path.len() < 2 {
+        return;
+    }
+
+    // Current run: (start vertex, end vertex, layer, axis key, mask).
+    let mut run_start = path[0];
+    let mut run_end = path[0];
+    let mut run_mask = mask_of(path[0]);
+
+    let flush = |start: VertexId, end: VertexId, mask: Option<Mask>, out: &mut ColoredNet| {
+        if start == end {
+            return;
+        }
+        let layer = grid.layer_of(start);
+        let a = grid.point_of(start);
+        let b = grid.point_of(end);
+        out.routed.segments.push(RouteSegment::new(
+            layer,
+            Segment::new(a, b),
+            grid.wire_width(layer),
+        ));
+        out.segment_masks.push(mask);
+    };
+
+    for i in 1..path.len() {
+        let prev = path[i - 1];
+        let curr = path[i];
+        let (pl, px, py) = grid.coords(prev);
+        let (cl, cx, cy) = grid.coords(curr);
+        let is_via = pl != cl;
+        if is_via {
+            flush(run_start, run_end, run_mask, out);
+            out.routed.vias.push(ViaInstance::new(
+                tpl_design::LayerId::from(pl.min(cl)),
+                grid.point_of(prev),
+            ));
+            run_start = curr;
+            run_end = curr;
+            run_mask = mask_of(curr);
+            continue;
+        }
+        // Planar step: decide whether the run continues.
+        let curr_mask = mask_of(curr);
+        let collinear = {
+            let (_, sx, sy) = grid.coords(run_start);
+            (sx == px && px == cx) || (sy == py && py == cy)
+        };
+        if curr_mask == run_mask && collinear {
+            run_end = curr;
+        } else {
+            flush(run_start, run_end, run_mask, out);
+            // The new run starts at the boundary vertex `prev` so the wire
+            // stays electrically continuous; its mask is the next segment's.
+            run_start = prev;
+            run_end = curr;
+            run_mask = curr_mask;
+        }
+    }
+    flush(run_start, run_end, run_mask, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MrTplConfig;
+    use tpl_color::ColorState;
+    use tpl_design::{DesignBuilder, Technology};
+    use tpl_geom::Rect;
+
+    fn fixture() -> (Design, GridGraph, PinCoverage, ColorMap) {
+        let mut b = DesignBuilder::new(
+            "assign",
+            Technology::ispd_like(3),
+            Rect::from_coords(0, 0, 400, 400),
+        );
+        let p0 = b.add_pin_shape("a", 0, Rect::from_coords(6, 6, 14, 14));
+        let p1 = b.add_pin_shape("b", 0, Rect::from_coords(166, 6, 174, 14));
+        b.add_net("n0", vec![p0, p1]);
+        let d = b.build().unwrap();
+        let g = GridGraph::build(&d);
+        let c = PinCoverage::build(&g, &d);
+        let m = ColorMap::new(d.die(), d.tech().num_layers(), d.tech().dcolor());
+        (d, g, c, m)
+    }
+
+    /// Builds buffers describing a straight horizontal path on layer 0 with
+    /// uniform colour state, then checks the emitted geometry.
+    #[test]
+    fn uniform_path_emits_one_segment_with_one_mask() {
+        let (design, grid, coverage, map) = fixture();
+        let _ = MrTplConfig::default();
+        let mut buffers = NetBuffers::new(grid.num_vertices());
+        let mut cache = ColorCostCache::new(&grid);
+        let mut arena = ColorSetArena::new();
+        buffers.begin_net();
+        buffers.begin_search();
+        cache.begin_net();
+
+        let path: Vec<VertexId> = (0..9).map(|i| grid.vertex(0, i, 0)).collect();
+        let vs = arena.make_ver_set(ColorState::all());
+        for (i, &v) in path.iter().enumerate() {
+            let prev = if i == 0 { None } else { Some(path[i - 1]) };
+            buffers.relax(v, i as f64, prev, ColorState::all());
+            buffers.set_ver_set(v, vs);
+        }
+
+        let colored = assign_and_emit(
+            &grid,
+            &design,
+            &coverage,
+            &mut arena,
+            &buffers,
+            &mut cache,
+            &map,
+            NetId::new(0),
+            &[path.clone()],
+        );
+        assert_eq!(colored.routed.segments.len(), 1);
+        assert_eq!(colored.segment_masks.len(), 1);
+        assert_eq!(colored.segment_masks[0], Some(Mask::Red)); // deterministic tie-break
+        assert_eq!(colored.routed.wirelength(), 8 * 20);
+        assert_eq!(colored.seg_sets, 1);
+        // Both pins received the same mask.
+        assert!(colored.pin_masks.iter().all(|(_, m)| *m == Some(Mask::Red)));
+    }
+
+    #[test]
+    fn mask_change_splits_the_wire_and_keeps_it_continuous() {
+        let (design, grid, coverage, map) = fixture();
+        let mut buffers = NetBuffers::new(grid.num_vertices());
+        let mut cache = ColorCostCache::new(&grid);
+        let mut arena = ColorSetArena::new();
+        buffers.begin_net();
+        buffers.begin_search();
+        cache.begin_net();
+
+        let path: Vec<VertexId> = (0..9).map(|i| grid.vertex(0, i, 0)).collect();
+        // First half green, second half red (two segSets = one stitch).
+        let vs_a = arena.make_ver_set(ColorState::from_mask(Mask::Green));
+        let vs_b = arena.make_ver_set(ColorState::from_mask(Mask::Red));
+        for (i, &v) in path.iter().enumerate() {
+            let prev = if i == 0 { None } else { Some(path[i - 1]) };
+            let state = if i < 4 {
+                ColorState::from_mask(Mask::Green)
+            } else {
+                ColorState::from_mask(Mask::Red)
+            };
+            buffers.relax(v, i as f64, prev, state);
+            buffers.set_ver_set(v, if i < 4 { vs_a } else { vs_b });
+        }
+
+        let colored = assign_and_emit(
+            &grid,
+            &design,
+            &coverage,
+            &mut arena,
+            &buffers,
+            &mut cache,
+            &map,
+            NetId::new(0),
+            &[path.clone()],
+        );
+        assert_eq!(colored.routed.segments.len(), 2);
+        assert_eq!(colored.seg_sets, 2);
+        let masks: Vec<_> = colored.segment_masks.iter().flatten().collect();
+        assert_eq!(masks, vec![&Mask::Green, &Mask::Red]);
+        // The two segments share the boundary point: total length is the full
+        // span even though the wire is split.
+        let total: i64 = colored.routed.segments.iter().map(|s| s.length()).sum();
+        assert_eq!(total, 8 * 20);
+        // The rectangles of the two segments touch (electrically continuous).
+        let r0 = colored.routed.segments[0].rect();
+        let r1 = colored.routed.segments[1].rect();
+        assert!(r0.intersects(&r1));
+    }
+
+    #[test]
+    fn corner_paths_split_at_the_bend() {
+        let (design, grid, coverage, map) = fixture();
+        let mut buffers = NetBuffers::new(grid.num_vertices());
+        let mut cache = ColorCostCache::new(&grid);
+        let mut arena = ColorSetArena::new();
+        buffers.begin_net();
+        buffers.begin_search();
+        cache.begin_net();
+
+        // L-shaped path on layer 0: east 4 steps then north 3 steps.
+        let mut path: Vec<VertexId> = (0..5).map(|i| grid.vertex(0, i, 0)).collect();
+        path.extend((1..4).map(|j| grid.vertex(0, 4, j)));
+        let vs = arena.make_ver_set(ColorState::all());
+        for (i, &v) in path.iter().enumerate() {
+            let prev = if i == 0 { None } else { Some(path[i - 1]) };
+            buffers.relax(v, i as f64, prev, ColorState::all());
+            buffers.set_ver_set(v, vs);
+        }
+        let colored = assign_and_emit(
+            &grid,
+            &design,
+            &coverage,
+            &mut arena,
+            &buffers,
+            &mut cache,
+            &map,
+            NetId::new(0),
+            &[path],
+        );
+        assert_eq!(colored.routed.segments.len(), 2);
+        assert_eq!(colored.routed.wirelength(), (4 + 3) * 20);
+        // Single segSet: no stitch despite the bend.
+        assert_eq!(colored.seg_sets, 1);
+        let unique: std::collections::HashSet<_> =
+            colored.segment_masks.iter().flatten().collect();
+        assert_eq!(unique.len(), 1);
+    }
+
+    #[test]
+    fn via_paths_emit_vias_and_segments_on_both_layers() {
+        let (design, grid, coverage, map) = fixture();
+        let mut buffers = NetBuffers::new(grid.num_vertices());
+        let mut cache = ColorCostCache::new(&grid);
+        let mut arena = ColorSetArena::new();
+        buffers.begin_net();
+        buffers.begin_search();
+        cache.begin_net();
+
+        let path = vec![
+            grid.vertex(0, 0, 0),
+            grid.vertex(0, 1, 0),
+            grid.vertex(1, 1, 0),
+            grid.vertex(1, 1, 1),
+            grid.vertex(1, 1, 2),
+        ];
+        let vs = arena.make_ver_set(ColorState::all());
+        for (i, &v) in path.iter().enumerate() {
+            let prev = if i == 0 { None } else { Some(path[i - 1]) };
+            buffers.relax(v, i as f64, prev, ColorState::all());
+            buffers.set_ver_set(v, vs);
+        }
+        let colored = assign_and_emit(
+            &grid,
+            &design,
+            &coverage,
+            &mut arena,
+            &buffers,
+            &mut cache,
+            &map,
+            NetId::new(0),
+            &[path],
+        );
+        assert_eq!(colored.routed.vias.len(), 1);
+        assert_eq!(colored.routed.segments.len(), 2);
+        assert_eq!(colored.routed.segments[0].layer.index(), 0);
+        assert_eq!(colored.routed.segments[1].layer.index(), 1);
+    }
+}

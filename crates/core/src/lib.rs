@@ -1,0 +1,49 @@
+//! Mr.TPL: a triple-patterning-aware detailed router for multi-pin nets.
+//!
+//! This crate is the reproduction of the paper's primary contribution.  It
+//! routes every net of a design on the shared grid substrate while carrying a
+//! **set-valued colour state** (a 3-bit mask-candidate set, Table I of the
+//! paper) on every search vertex:
+//!
+//! 1. **Colour-state searching** ([`search`], Algorithm 2): a multi-source
+//!    Dijkstra whose expansion evaluates, per direction, the cost of each of
+//!    the three masks (traditional cost + colour-conflict pressure + stitch
+//!    cost when the mask is not in the current state) and keeps the *set* of
+//!    masks attaining the minimum.
+//! 2. **Backtrace** ([`backtrace`], Algorithm 3): walks predecessors from the
+//!    reached pin, grouping vertices into verSets and segSets; states are
+//!    intersected along the path, and a stitch is exactly a segSet boundary.
+//! 3. **Mask assignment** ([`assign`]): every segSet commits to the candidate
+//!    mask with the lowest conflict pressure; wire geometry is emitted with
+//!    one mask per segment.
+//! 4. **Rip-up and reroute**: remaining colour conflicts bump history costs
+//!    and send the cheaper party back through steps 1–3.
+//!
+//! # Examples
+//!
+//! ```
+//! use mrtpl_core::{MrTplConfig, MrTplRouter};
+//! use tpl_global::{GlobalConfig, GlobalRouter};
+//! use tpl_ispd::CaseParams;
+//!
+//! let design = CaseParams::ispd18_like(1).scaled(0.25).generate();
+//! let guides = GlobalRouter::new(GlobalConfig::default()).route(&design);
+//! let result = MrTplRouter::new(MrTplConfig::default()).route(&design, &guides);
+//! assert_eq!(result.solution.routed_count(), design.nets().len());
+//! ```
+
+#![warn(missing_docs)]
+
+mod assign;
+mod backtrace;
+mod colorcost;
+mod config;
+mod router;
+mod search;
+
+pub use assign::ColoredNet;
+pub use backtrace::backtrace;
+pub use colorcost::ColorCostCache;
+pub use config::{MrTplConfig, MrTplStats, SearchPolicy};
+pub use router::{MrTplResult, MrTplRouter};
+pub use search::{search, NetBuffers, SearchContext};

@@ -1,0 +1,367 @@
+//! The full-design Mr.TPL router (Algorithm 1 + rip-up & reroute).
+
+use crate::{
+    assign::assign_and_emit, backtrace, search, ColorCostCache, ColoredNet, MrTplConfig,
+    MrTplStats, NetBuffers, SearchContext,
+};
+use std::collections::HashSet;
+use std::time::Instant;
+use tpl_color::{ColorMap, ColorSetArena, ColorState, ColoredLayout, Feature, Mask};
+use tpl_design::{Design, NetId, PinId, RouteGuides, RoutingSolution};
+use tpl_grid::{GridGraph, GridState, PinCoverage, VertexId};
+
+/// The result of a Mr.TPL routing run.
+#[derive(Clone, Debug)]
+pub struct MrTplResult {
+    /// The routed geometry of every net.
+    pub solution: RoutingSolution,
+    /// Per-net, per-segment mask assignment (parallel to each routed net's
+    /// segment list).
+    pub segment_masks: Vec<Vec<Option<Mask>>>,
+    /// The final coloured layout (wires and pins) used for evaluation.
+    pub layout: ColoredLayout,
+    /// Run statistics.
+    pub stats: MrTplStats,
+}
+
+/// The Mr.TPL triple-patterning-aware detailed router.
+#[derive(Clone, Debug)]
+pub struct MrTplRouter {
+    config: MrTplConfig,
+}
+
+impl MrTplRouter {
+    /// Creates a router with the given configuration.
+    pub fn new(config: MrTplConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration the router was built with.
+    pub fn config(&self) -> &MrTplConfig {
+        &self.config
+    }
+
+    /// Routes and colours every net of the design inside the given guides.
+    pub fn route(&self, design: &Design, guides: &RouteGuides) -> MrTplResult {
+        let start = Instant::now();
+        let grid = GridGraph::build(design);
+        let coverage = PinCoverage::build(&grid, design);
+        let mut gstate = GridState::new(&grid, design);
+        let mut map = ColorMap::new(
+            design.die(),
+            design.tech().num_layers(),
+            design.tech().dcolor(),
+        );
+        let mut buffers = NetBuffers::new(grid.num_vertices());
+        let mut cache = ColorCostCache::new(&grid);
+
+        let mut solution = RoutingSolution::new(design.nets().len());
+        let mut segment_masks: Vec<Vec<Option<Mask>>> = vec![Vec::new(); design.nets().len()];
+        let mut net_vertices: Vec<Vec<VertexId>> = vec![Vec::new(); design.nets().len()];
+        let mut stats = MrTplStats::default();
+        let mut total_seg_sets = 0usize;
+
+        // Net ordering: small bounding boxes first, deterministic tie-break.
+        let mut order: Vec<NetId> = design.nets().iter().map(|n| n.id()).collect();
+        order.sort_by_key(|id| {
+            (
+                design.net_bbox(*id).map(|b| b.half_perimeter()).unwrap_or(0),
+                id.index(),
+            )
+        });
+
+        let mut to_route: Vec<NetId> = order.clone();
+        for iteration in 0..=self.config.max_rrr_iterations {
+            stats.rrr_iterations = iteration;
+            stats.failed_nets = 0;
+            for &net_id in &to_route {
+                // Rip up stale state of this net.
+                gstate.release_net(net_id);
+                map.remove_net(net_id);
+                solution.rip_up(net_id);
+                segment_masks[net_id.index()].clear();
+                net_vertices[net_id.index()].clear();
+
+                let (colored, vertices, complete) = self.route_net(
+                    design, &grid, &coverage, &gstate, &mut buffers, &mut cache, &map, guides,
+                    net_id,
+                );
+                if !complete {
+                    stats.failed_nets += 1;
+                }
+                total_seg_sets += colored.seg_sets;
+
+                // Commit: occupancy, colour map, solution.
+                for &v in &vertices {
+                    gstate.occupy(v, net_id);
+                }
+                for (seg, mask) in colored
+                    .routed
+                    .segments
+                    .iter()
+                    .zip(colored.segment_masks.iter())
+                {
+                    map.insert(Feature::wire(net_id, seg.layer, seg.rect(), *mask));
+                }
+                for (pin, mask) in &colored.pin_masks {
+                    for (layer, rect) in design.pin(*pin).shapes() {
+                        map.insert(Feature::pin(net_id, *layer, *rect, *mask));
+                    }
+                }
+                segment_masks[net_id.index()] = colored.segment_masks;
+                net_vertices[net_id.index()] = vertices;
+                solution.set(net_id, colored.routed);
+            }
+
+            // Conflict detection on the committed colour map.
+            let layout = self.build_layout(design, &map);
+            let conflicts = layout.conflicts();
+            stats.conflict_history.push(conflicts.len());
+            if conflicts.is_empty() || iteration == self.config.max_rrr_iterations {
+                break;
+            }
+
+            // Rip up & update history cost: for every conflict the feature
+            // pair identifies two nets.  Pins cannot move, so the victim is
+            // preferably a net whose conflicting feature is a wire; among
+            // wires the larger net id loses (deterministic).  The conflict
+            // region's vertices get history cost so the reroute avoids it.
+            let features = layout.features();
+            let mut victims: HashSet<NetId> = HashSet::new();
+            for c in &conflicts {
+                let fa = &features[c.a];
+                let fb = &features[c.b];
+                let (Some(na), Some(nb)) = (fa.net, fb.net) else {
+                    continue;
+                };
+                let a_is_wire = fa.kind == tpl_color::FeatureKind::Wire;
+                let b_is_wire = fb.kind == tpl_color::FeatureKind::Wire;
+                let victim = match (a_is_wire, b_is_wire) {
+                    (true, false) => na,
+                    (false, true) => nb,
+                    // Wire-wire: the larger net id loses (deterministic).
+                    (true, true) => {
+                        if na.index() >= nb.index() {
+                            na
+                        } else {
+                            nb
+                        }
+                    }
+                    // Pin-pin: pins cannot move, but rerouting either net
+                    // re-colours its pin with full knowledge of the other,
+                    // which resolves the conflict unless three differently
+                    // coloured neighbours surround the pin.
+                    (false, false) => {
+                        if na.index() >= nb.index() {
+                            na
+                        } else {
+                            nb
+                        }
+                    }
+                };
+                victims.insert(victim);
+                for rect in [fa.rect, fb.rect] {
+                    for v in grid.vertices_in_rect(c.layer, &rect) {
+                        gstate.add_history(v, self.config.history_increment);
+                    }
+                }
+            }
+            let mut next: Vec<NetId> = victims.into_iter().collect();
+            next.sort_unstable_by_key(|id| id.index());
+            if next.is_empty() {
+                break;
+            }
+            to_route = next;
+        }
+
+        let layout = self.build_layout(design, &map);
+        let layout_stats = layout.stats();
+        stats.conflicts = layout_stats.conflicts;
+        stats.stitches = layout_stats.stitches;
+        stats.seg_sets = total_seg_sets;
+        stats.runtime_seconds = start.elapsed().as_secs_f64();
+
+        MrTplResult {
+            solution,
+            segment_masks,
+            layout,
+            stats,
+        }
+    }
+
+    /// Builds the evaluation layout from the live colour map.
+    fn build_layout(&self, design: &Design, map: &ColorMap) -> ColoredLayout {
+        let mut layout = ColoredLayout::new(
+            design.die(),
+            design.tech().num_layers(),
+            design.tech().dcolor(),
+        );
+        for f in map.live_features() {
+            layout.add(*f);
+        }
+        layout
+    }
+
+    /// Routes one multi-pin net (Algorithm 1): seeds the queue with the first
+    /// pin's covered vertices in state `111`, repeatedly performs colour-state
+    /// searching and backtrace until every pin is connected, then assigns
+    /// masks and emits coloured geometry.
+    #[allow(clippy::too_many_arguments)]
+    fn route_net(
+        &self,
+        design: &Design,
+        grid: &GridGraph,
+        coverage: &PinCoverage,
+        gstate: &GridState,
+        buffers: &mut NetBuffers,
+        cache: &mut ColorCostCache,
+        map: &ColorMap,
+        guides: &RouteGuides,
+        net_id: NetId,
+    ) -> (ColoredNet, Vec<VertexId>, bool) {
+        let net = design.net(net_id);
+        let in_guide = SearchContext::guide_membership(grid, guides, net_id);
+        let ctx = SearchContext {
+            grid,
+            state: gstate,
+            coverage,
+            design,
+            config: &self.config,
+            net: net_id,
+            in_guide: &in_guide,
+            map,
+        };
+
+        buffers.begin_net();
+        cache.begin_net();
+        let mut arena = ColorSetArena::new();
+
+        // The routed tree: vertices plus the colour state they are re-seeded
+        // with (their segSet state once committed).
+        let mut tree: Vec<VertexId> = Vec::new();
+        let mut tree_set: HashSet<VertexId> = HashSet::new();
+        let start_pin = net.pins()[0];
+        for &v in coverage.vertices(start_pin) {
+            if tree_set.insert(v) {
+                tree.push(v);
+            }
+        }
+        let mut unreached: Vec<PinId> = net.pins()[1..].to_vec();
+        let mut paths: Vec<Vec<VertexId>> = Vec::new();
+        let mut complete = true;
+
+        while !unreached.is_empty() {
+            // Re-seed sources with their current (possibly narrowed) states.
+            let sources: Vec<(VertexId, ColorState)> = tree
+                .iter()
+                .map(|&v| {
+                    let state = buffers
+                        .ver_set(v)
+                        .map(|vs| arena.seg_state(arena.seg_of(vs)))
+                        .unwrap_or_else(ColorState::all);
+                    (v, state)
+                })
+                .collect();
+
+            match search(&ctx, buffers, cache, &sources, &unreached) {
+                Some((dst, pin)) => {
+                    let path = backtrace(buffers, &mut arena, dst);
+                    for &v in &path {
+                        if tree_set.insert(v) {
+                            tree.push(v);
+                        }
+                    }
+                    paths.push(path);
+                    unreached.retain(|p| *p != pin);
+                    // Pins whose covered vertices were swallowed by the path
+                    // are also connected.
+                    unreached.retain(|p| {
+                        !coverage.vertices(*p).iter().any(|v| tree_set.contains(v))
+                    });
+                }
+                None => {
+                    complete = false;
+                    break;
+                }
+            }
+        }
+
+        let colored = assign_and_emit(
+            grid, design, coverage, &mut arena, buffers, cache, map, net_id, &paths,
+        );
+        (colored, tree, complete)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpl_global::{GlobalConfig, GlobalRouter};
+    use tpl_ispd::CaseParams;
+
+    fn route_case(scale: f64) -> (Design, MrTplResult) {
+        let design = CaseParams::ispd18_like(1).scaled(scale).generate();
+        let guides = GlobalRouter::new(GlobalConfig::default()).route(&design);
+        let result = MrTplRouter::new(MrTplConfig::default()).route(&design, &guides);
+        (design, result)
+    }
+
+    #[test]
+    fn routes_and_colors_every_net() {
+        let (design, result) = route_case(0.3);
+        assert_eq!(result.solution.routed_count(), design.nets().len());
+        assert_eq!(result.stats.failed_nets, 0);
+        // Every emitted segment carries a mask.
+        for (net_id, routed) in result.solution.iter() {
+            let masks = &result.segment_masks[net_id.index()];
+            assert_eq!(masks.len(), routed.segments.len());
+            assert!(masks.iter().all(|m| m.is_some()));
+        }
+    }
+
+    #[test]
+    fn every_net_remains_electrically_connected() {
+        let (design, result) = route_case(0.3);
+        for net in design.nets() {
+            let routed = result.solution.get(net.id()).expect("routed");
+            assert!(
+                routed.connects_all_pins(&design, net.id()),
+                "net {} broken after colouring",
+                net.name()
+            );
+        }
+    }
+
+    #[test]
+    fn small_cases_finish_with_no_conflicts() {
+        let (_, result) = route_case(0.3);
+        assert_eq!(result.stats.conflicts, 0, "tiny case should be conflict free");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (_, a) = route_case(0.25);
+        let (_, b) = route_case(0.25);
+        assert_eq!(a.stats.conflicts, b.stats.conflicts);
+        assert_eq!(a.stats.stitches, b.stats.stitches);
+        assert_eq!(a.solution.total_wirelength(), b.solution.total_wirelength());
+    }
+
+    #[test]
+    fn greedy_policy_produces_at_least_as_many_stitches() {
+        let design = CaseParams::ispd18_like(2).scaled(0.35).generate();
+        let guides = GlobalRouter::new(GlobalConfig::default()).route(&design);
+        let set_based = MrTplRouter::new(MrTplConfig::default()).route(&design, &guides);
+        let greedy = MrTplRouter::new(MrTplConfig {
+            policy: crate::SearchPolicy::GreedySingleColor,
+            ..MrTplConfig::default()
+        })
+        .route(&design, &guides);
+        assert!(
+            greedy.stats.stitches >= set_based.stats.stitches,
+            "greedy {} vs set-based {}",
+            greedy.stats.stitches,
+            set_based.stats.stitches
+        );
+    }
+}

@@ -1,0 +1,453 @@
+//! Colour-state searching (Algorithm 2).
+
+use crate::{ColorCostCache, MrTplConfig, SearchPolicy};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use tpl_color::{ColorMap, ColorState, Mask};
+use tpl_design::{Design, NetId, PinId, RouteGuides};
+use tpl_geom::Dir;
+use tpl_grid::{GridGraph, GridState, PinCoverage, VertexId};
+
+/// Per-vertex search bookkeeping with two levels of epoch invalidation:
+/// per-search (distance, predecessor, colour state) and per-net (verSet
+/// membership, which must survive across the several pin-to-tree searches of
+/// one multi-pin net).
+#[derive(Clone, Debug)]
+pub struct NetBuffers {
+    search_epoch: u32,
+    search_stamp: Vec<u32>,
+    dist: Vec<f64>,
+    prev: Vec<u32>,
+    state: Vec<u8>,
+    net_epoch: u32,
+    net_stamp: Vec<u32>,
+    ver_set: Vec<u32>,
+}
+
+impl NetBuffers {
+    /// Creates buffers for `num_vertices` grid vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        Self {
+            search_epoch: 0,
+            search_stamp: vec![0; num_vertices],
+            dist: vec![f64::INFINITY; num_vertices],
+            prev: vec![u32::MAX; num_vertices],
+            state: vec![0; num_vertices],
+            net_epoch: 0,
+            net_stamp: vec![0; num_vertices],
+            ver_set: vec![u32::MAX; num_vertices],
+        }
+    }
+
+    /// Starts routing a new net: all verSet pointers become stale.
+    pub fn begin_net(&mut self) {
+        self.net_epoch += 1;
+    }
+
+    /// Starts a new pin-to-tree search within the current net.
+    pub fn begin_search(&mut self) {
+        self.search_epoch += 1;
+    }
+
+    #[inline]
+    fn fresh_search(&self, v: usize) -> bool {
+        self.search_stamp[v] == self.search_epoch
+    }
+
+    /// Tentative distance of a vertex in the current search.
+    #[inline]
+    pub fn dist(&self, v: VertexId) -> f64 {
+        if self.fresh_search(v.index()) {
+            self.dist[v.index()]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Relaxes a vertex with a new distance, predecessor and colour state.
+    #[inline]
+    pub fn relax(&mut self, v: VertexId, dist: f64, prev: Option<VertexId>, state: ColorState) {
+        let i = v.index();
+        self.search_stamp[i] = self.search_epoch;
+        self.dist[i] = dist;
+        self.prev[i] = prev.map(|p| p.0).unwrap_or(u32::MAX);
+        self.state[i] = state.bits();
+    }
+
+    /// The predecessor of a vertex in the current search.
+    #[inline]
+    pub fn prev(&self, v: VertexId) -> Option<VertexId> {
+        if self.fresh_search(v.index()) && self.prev[v.index()] != u32::MAX {
+            Some(VertexId::new(self.prev[v.index()]))
+        } else {
+            None
+        }
+    }
+
+    /// The colour state a vertex was relaxed with in the current search.
+    #[inline]
+    pub fn state(&self, v: VertexId) -> ColorState {
+        if self.fresh_search(v.index()) {
+            ColorState::from_bits(self.state[v.index()])
+        } else {
+            ColorState::none()
+        }
+    }
+
+    /// The verSet the vertex belongs to within the current net, if assigned.
+    #[inline]
+    pub fn ver_set(&self, v: VertexId) -> Option<tpl_color::VerSetId> {
+        if self.net_stamp[v.index()] == self.net_epoch && self.ver_set[v.index()] != u32::MAX {
+            Some(tpl_color::VerSetId(self.ver_set[v.index()]))
+        } else {
+            None
+        }
+    }
+
+    /// Assigns the vertex to a verSet for the current net.
+    #[inline]
+    pub fn set_ver_set(&mut self, v: VertexId, set: tpl_color::VerSetId) {
+        let i = v.index();
+        self.net_stamp[i] = self.net_epoch;
+        self.ver_set[i] = set.0;
+    }
+}
+
+/// Borrowed context for routing a single net.
+pub struct SearchContext<'a> {
+    /// The routing grid.
+    pub grid: &'a GridGraph,
+    /// Blockage / occupancy / history state.
+    pub state: &'a GridState,
+    /// Pin-to-vertex coverage.
+    pub coverage: &'a PinCoverage,
+    /// The design being routed.
+    pub design: &'a Design,
+    /// Router configuration (weights of Eq. (1)).
+    pub config: &'a MrTplConfig,
+    /// The net being routed.
+    pub net: NetId,
+    /// Whether each vertex lies inside the net's route guide.
+    pub in_guide: &'a [bool],
+    /// Already-coloured features of other nets.
+    pub map: &'a ColorMap,
+}
+
+impl<'a> SearchContext<'a> {
+    /// Per-net guide membership (nets without guide regions are free).
+    pub fn guide_membership(grid: &GridGraph, guides: &RouteGuides, net: NetId) -> Vec<bool> {
+        let regions = guides.regions(net);
+        if regions.is_empty() {
+            return vec![true; grid.num_vertices()];
+        }
+        let mut mask = vec![false; grid.num_vertices()];
+        for region in regions {
+            for v in grid.vertices_in_rect(region.layer, &region.rect) {
+                mask[v.index()] = true;
+            }
+        }
+        mask
+    }
+
+    /// The traditional (colour-free) part of the cost of stepping from
+    /// `from` onto `to`, or `None` when `to` is blocked.
+    pub fn trad_cost(&self, from: VertexId, to: VertexId, dir: Dir) -> Option<f64> {
+        if self.state.is_blocked(to) {
+            return None;
+        }
+        let cost = &self.config.cost;
+        let mut c = if dir.is_via() {
+            cost.via
+        } else if self.grid.is_wrong_way(from, dir) {
+            cost.wrong_way_cost(self.grid.pitch())
+        } else {
+            cost.wire_cost(self.grid.pitch())
+        };
+        if dir.is_planar() && self.grid.layer_of(to).index() == 0 {
+            c *= cost.base_layer_mult;
+        }
+        if !self.in_guide[to.index()] {
+            c += cost.out_of_guide * self.grid.pitch() as f64;
+        }
+        if self.state.is_occupied_by_other(to, self.net) {
+            c += cost.occupied;
+        }
+        if let Some(pin) = self.coverage.pin_at(to) {
+            if self.design.pin(pin).net() != self.net {
+                c += cost.occupied;
+            }
+        }
+        c += cost.history_weight * self.state.history(to);
+        Some(c)
+    }
+
+    /// Evaluates the 3×2 colour-cost table of Algorithm 2 for one step and
+    /// returns the minimum cost together with the set of masks attaining it.
+    pub fn color_step(
+        &self,
+        cache: &mut ColorCostCache,
+        from_state: ColorState,
+        to: VertexId,
+        dir: Dir,
+        trad: f64,
+    ) -> (f64, ColorState) {
+        let pressure = cache.pressure(self.grid, self.map, self.net, to);
+        let mut best = f64::INFINITY;
+        let mut best_set = ColorState::none();
+        const EPS: f64 = 1e-9;
+        for mask in Mask::ALL {
+            let mut c = self.config.alpha * trad
+                + self.config.color_conflict_cost * pressure[mask.index()] as f64;
+            if dir.is_planar() && !from_state.contains(mask) {
+                c += self.config.stitch_cost;
+            }
+            if c + EPS < best {
+                best = c;
+                best_set = ColorState::from_mask(mask);
+            } else if (c - best).abs() <= EPS {
+                best_set = best_set.with(mask);
+            }
+        }
+        if self.config.policy == SearchPolicy::GreedySingleColor {
+            if let Some(first) = best_set.first() {
+                best_set = ColorState::from_mask(first);
+            }
+        }
+        (best, best_set)
+    }
+}
+
+/// Colour-state searching (Algorithm 2): multi-source Dijkstra from the
+/// routed tree until a vertex covered by an unreached pin of the net is
+/// popped.  Returns that vertex and the pin, or `None` if no unreached pin is
+/// reachable.
+pub fn search(
+    ctx: &SearchContext<'_>,
+    buffers: &mut NetBuffers,
+    cache: &mut ColorCostCache,
+    sources: &[(VertexId, ColorState)],
+    unreached: &[PinId],
+) -> Option<(VertexId, PinId)> {
+    buffers.begin_search();
+    let key = |c: f64| (c * 256.0) as u64;
+    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+    for &(s, state) in sources {
+        if ctx.state.is_blocked(s) {
+            continue;
+        }
+        buffers.relax(s, 0.0, None, state);
+        heap.push(Reverse((0, s.0)));
+    }
+
+    let is_target = |v: VertexId| -> Option<PinId> {
+        let pin = ctx.coverage.pin_at(v)?;
+        if ctx.design.pin(pin).net() == ctx.net && unreached.contains(&pin) {
+            Some(pin)
+        } else {
+            None
+        }
+    };
+
+    while let Some(Reverse((k, raw))) = heap.pop() {
+        let v = VertexId::new(raw);
+        let d = buffers.dist(v);
+        if key(d) < k {
+            continue; // stale entry
+        }
+        if let Some(pin) = is_target(v) {
+            return Some((v, pin));
+        }
+        let from_state = buffers.state(v);
+        for (dir, n) in ctx.grid.neighbors(v) {
+            let Some(trad) = ctx.trad_cost(v, n, dir) else {
+                continue;
+            };
+            let (step, new_state) = ctx.color_step(cache, from_state, n, dir, trad);
+            let nd = d + step;
+            if nd < buffers.dist(n) {
+                buffers.relax(n, nd, Some(v), new_state);
+                heap.push(Reverse((key(nd), n.0)));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpl_color::Feature;
+    use tpl_design::{DesignBuilder, LayerId, Technology};
+    use tpl_geom::Rect;
+
+    struct Fixture {
+        design: Design,
+        grid: GridGraph,
+        gstate: GridState,
+        coverage: PinCoverage,
+        map: ColorMap,
+        config: MrTplConfig,
+    }
+
+    fn fixture() -> Fixture {
+        let mut b = DesignBuilder::new(
+            "search",
+            Technology::ispd_like(3),
+            Rect::from_coords(0, 0, 400, 400),
+        );
+        let p0 = b.add_pin_shape("a", 0, Rect::from_coords(6, 6, 14, 14));
+        let p1 = b.add_pin_shape("b", 0, Rect::from_coords(366, 6, 374, 14));
+        b.add_net("n0", vec![p0, p1]);
+        let design = b.build().unwrap();
+        let grid = GridGraph::build(&design);
+        let gstate = GridState::new(&grid, &design);
+        let coverage = PinCoverage::build(&grid, &design);
+        let map = ColorMap::new(design.die(), design.tech().num_layers(), design.tech().dcolor());
+        Fixture {
+            design,
+            grid,
+            gstate,
+            coverage,
+            map,
+            config: MrTplConfig::default(),
+        }
+    }
+
+    fn ctx<'a>(f: &'a Fixture, in_guide: &'a [bool]) -> SearchContext<'a> {
+        SearchContext {
+            grid: &f.grid,
+            state: &f.gstate,
+            coverage: &f.coverage,
+            design: &f.design,
+            config: &f.config,
+            net: NetId::new(0),
+            in_guide,
+            map: &f.map,
+        }
+    }
+
+    #[test]
+    fn search_reaches_the_second_pin_with_full_color_state() {
+        let f = fixture();
+        let in_guide = vec![true; f.grid.num_vertices()];
+        let c = ctx(&f, &in_guide);
+        let mut buffers = NetBuffers::new(f.grid.num_vertices());
+        let mut cache = ColorCostCache::new(&f.grid);
+        buffers.begin_net();
+        cache.begin_net();
+        let sources: Vec<(VertexId, ColorState)> = f
+            .coverage
+            .vertices(PinId::new(0))
+            .iter()
+            .map(|v| (*v, ColorState::all()))
+            .collect();
+        let (dst, pin) = search(&c, &mut buffers, &mut cache, &sources, &[PinId::new(1)])
+            .expect("path exists");
+        assert_eq!(pin, PinId::new(1));
+        // On an empty die nothing constrains the colours: the destination
+        // keeps all three candidates alive.
+        assert_eq!(buffers.state(dst), ColorState::all());
+        // The path has monotonically non-increasing distance towards the
+        // source.
+        let mut v = dst;
+        let mut d = buffers.dist(v);
+        while let Some(p) = buffers.prev(v) {
+            assert!(buffers.dist(p) <= d + 1e-9);
+            d = buffers.dist(p);
+            v = p;
+        }
+        assert_eq!(buffers.dist(v), 0.0);
+    }
+
+    #[test]
+    fn colored_neighbor_removes_its_mask_from_the_state() {
+        let mut f = fixture();
+        // A red wire of another net running right next to the straight-line
+        // path between the pins (same layer 0, one track above y=10).
+        f.map.insert(Feature::wire(
+            NetId::new(9),
+            LayerId::new(0),
+            Rect::from_coords(0, 26, 400, 34),
+            Some(tpl_color::Mask::Red),
+        ));
+        let in_guide = vec![true; f.grid.num_vertices()];
+        let c = ctx(&f, &in_guide);
+        let mut buffers = NetBuffers::new(f.grid.num_vertices());
+        let mut cache = ColorCostCache::new(&f.grid);
+        buffers.begin_net();
+        cache.begin_net();
+        let sources: Vec<(VertexId, ColorState)> = f
+            .coverage
+            .vertices(PinId::new(0))
+            .iter()
+            .map(|v| (*v, ColorState::all()))
+            .collect();
+        let (dst, _) = search(&c, &mut buffers, &mut cache, &sources, &[PinId::new(1)])
+            .expect("path exists");
+        // The straight path on layer 0 runs within dcolor of the red wire,
+        // so red is no longer among the minimum-cost candidates at the
+        // destination.
+        let state = buffers.state(dst);
+        assert!(!state.contains(tpl_color::Mask::Red));
+        assert!(state.contains(tpl_color::Mask::Green));
+        assert!(state.contains(tpl_color::Mask::Blue));
+    }
+
+    #[test]
+    fn greedy_policy_keeps_a_single_candidate() {
+        let mut f = fixture();
+        f.config.policy = SearchPolicy::GreedySingleColor;
+        let in_guide = vec![true; f.grid.num_vertices()];
+        let c = ctx(&f, &in_guide);
+        let mut buffers = NetBuffers::new(f.grid.num_vertices());
+        let mut cache = ColorCostCache::new(&f.grid);
+        buffers.begin_net();
+        cache.begin_net();
+        let sources: Vec<(VertexId, ColorState)> = f
+            .coverage
+            .vertices(PinId::new(0))
+            .iter()
+            .map(|v| (*v, ColorState::all()))
+            .collect();
+        let (dst, _) = search(&c, &mut buffers, &mut cache, &sources, &[PinId::new(1)])
+            .expect("path exists");
+        assert_eq!(buffers.state(dst).len(), 1);
+    }
+
+    #[test]
+    fn stitch_cost_is_charged_when_leaving_the_state() {
+        let f = fixture();
+        let in_guide = vec![true; f.grid.num_vertices()];
+        let c = ctx(&f, &in_guide);
+        let mut cache = ColorCostCache::new(&f.grid);
+        cache.begin_net();
+        let v = f.grid.vertex(0, 5, 5);
+        let n = f.grid.vertex(0, 6, 5);
+        let trad = c.trad_cost(v, n, Dir::East).unwrap();
+        // From a green-only state, staying green is cheapest and red/blue pay
+        // the stitch cost on top.
+        let (cost_green_state, set) = c.color_step(
+            &mut cache,
+            ColorState::from_mask(tpl_color::Mask::Green),
+            n,
+            Dir::East,
+            trad,
+        );
+        assert_eq!(set.single(), Some(tpl_color::Mask::Green));
+        let (cost_full_state, full_set) =
+            c.color_step(&mut cache, ColorState::all(), n, Dir::East, trad);
+        assert_eq!(full_set, ColorState::all());
+        assert!((cost_green_state - cost_full_state).abs() < 1e-9);
+        // Via steps never pay a stitch cost.
+        let above = f.grid.vertex(1, 5, 5);
+        let via_trad = c.trad_cost(v, above, Dir::Up).unwrap();
+        let (_, via_set) = c.color_step(
+            &mut cache,
+            ColorState::from_mask(tpl_color::Mask::Green),
+            above,
+            Dir::Up,
+            via_trad,
+        );
+        assert_eq!(via_set, ColorState::all());
+    }
+}

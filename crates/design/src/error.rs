@@ -1,0 +1,60 @@
+//! Error types for design construction and IO.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, validating or parsing a design.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DesignError {
+    /// The technology description is inconsistent.
+    InvalidTechnology(String),
+    /// A net references a pin that does not exist or belongs to another net.
+    InvalidNet(String),
+    /// A pin or obstacle shape lies outside the die or on a missing layer.
+    InvalidGeometry(String),
+    /// The textual design format could not be parsed.
+    Parse {
+        /// 1-based line number where parsing failed.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for DesignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DesignError::InvalidTechnology(msg) => write!(f, "invalid technology: {msg}"),
+            DesignError::InvalidNet(msg) => write!(f, "invalid net: {msg}"),
+            DesignError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
+            DesignError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for DesignError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = DesignError::InvalidNet("net n1 has no pins".into());
+        assert_eq!(e.to_string(), "invalid net: net n1 has no pins");
+        let p = DesignError::Parse {
+            line: 3,
+            message: "expected rect".into(),
+        };
+        assert!(p.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<DesignError>();
+    }
+}

@@ -1,0 +1,307 @@
+//! A compact textual interchange format for designs.
+//!
+//! The format plays the role of LEF/DEF in the original flow: it lets the
+//! synthetic ISPD-like benchmarks be written to disk, inspected, and read
+//! back by the examples without any external parser dependency.
+//!
+//! ```text
+//! design <name>
+//! die <x1> <y1> <x2> <y2>
+//! dcolor <d>
+//! layer <name> <H|V> <pitch> <offset> <width> <spacing>
+//! pin <name> <net-index> <layer> <x1> <y1> <x2> <y2> [<layer> <x1> ...]
+//! net <name> <pin-index> <pin-index> ...
+//! obs <layer> <x1> <y1> <x2> <y2> <colorable 0|1>
+//! ```
+
+use crate::{
+    Design, DesignBuilder, DesignError, Layer, LayerId, Technology,
+};
+use tpl_geom::{Axis, Dbu, Rect};
+
+/// Serialises a design to the textual format.
+pub fn write_design(design: &Design) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("design {}\n", design.name()));
+    let die = design.die();
+    out.push_str(&format!(
+        "die {} {} {} {}\n",
+        die.lo.x, die.lo.y, die.hi.x, die.hi.y
+    ));
+    out.push_str(&format!("dcolor {}\n", design.tech().dcolor()));
+    for (_, layer) in design.tech().iter() {
+        out.push_str(&format!(
+            "layer {} {} {} {} {} {}\n",
+            layer.name, layer.axis, layer.pitch, layer.offset, layer.width, layer.spacing
+        ));
+    }
+    for pin in design.pins() {
+        out.push_str(&format!("pin {} {}", pin.name(), pin.net().index()));
+        for (layer, rect) in pin.shapes() {
+            out.push_str(&format!(
+                " {} {} {} {} {}",
+                layer.index(),
+                rect.lo.x,
+                rect.lo.y,
+                rect.hi.x,
+                rect.hi.y
+            ));
+        }
+        out.push('\n');
+    }
+    for net in design.nets() {
+        out.push_str(&format!("net {}", net.name()));
+        for pin in net.pins() {
+            out.push_str(&format!(" {}", pin.index()));
+        }
+        out.push('\n');
+    }
+    for obs in design.obstacles() {
+        out.push_str(&format!(
+            "obs {} {} {} {} {} {}\n",
+            obs.layer.index(),
+            obs.rect.lo.x,
+            obs.rect.lo.y,
+            obs.rect.hi.x,
+            obs.rect.hi.y,
+            if obs.colorable { 1 } else { 0 }
+        ));
+    }
+    out
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> DesignError {
+    DesignError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_num(tok: &str, line: usize) -> Result<Dbu, DesignError> {
+    tok.parse::<Dbu>()
+        .map_err(|_| parse_err(line, format!("expected integer, found `{tok}`")))
+}
+
+/// Parses a design from the textual format.
+///
+/// # Errors
+///
+/// Returns [`DesignError::Parse`] on any malformed line and the usual
+/// validation errors from [`DesignBuilder::build`].
+pub fn read_design(text: &str) -> Result<Design, DesignError> {
+    let mut name = String::from("unnamed");
+    let mut die: Option<Rect> = None;
+    let mut dcolor: Dbu = 0;
+    let mut layers: Vec<Layer> = Vec::new();
+    // (pin name, net index, shapes)
+    let mut pins: Vec<(String, usize, Vec<(LayerId, Rect)>)> = Vec::new();
+    let mut nets: Vec<(String, Vec<usize>)> = Vec::new();
+    let mut obstacles: Vec<(u32, Rect, bool)> = Vec::new();
+
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        match toks[0] {
+            "design" => {
+                if toks.len() < 2 {
+                    return Err(parse_err(lineno, "design needs a name"));
+                }
+                name = toks[1].to_string();
+            }
+            "die" => {
+                if toks.len() != 5 {
+                    return Err(parse_err(lineno, "die needs 4 coordinates"));
+                }
+                die = Some(Rect::from_coords(
+                    parse_num(toks[1], lineno)?,
+                    parse_num(toks[2], lineno)?,
+                    parse_num(toks[3], lineno)?,
+                    parse_num(toks[4], lineno)?,
+                ));
+            }
+            "dcolor" => {
+                if toks.len() != 2 {
+                    return Err(parse_err(lineno, "dcolor needs a value"));
+                }
+                dcolor = parse_num(toks[1], lineno)?;
+            }
+            "layer" => {
+                if toks.len() != 7 {
+                    return Err(parse_err(lineno, "layer needs 6 fields"));
+                }
+                let axis = match toks[2] {
+                    "H" => Axis::Horizontal,
+                    "V" => Axis::Vertical,
+                    other => return Err(parse_err(lineno, format!("bad axis `{other}`"))),
+                };
+                layers.push(Layer::new(
+                    toks[1],
+                    axis,
+                    parse_num(toks[3], lineno)?,
+                    parse_num(toks[4], lineno)?,
+                    parse_num(toks[5], lineno)?,
+                    parse_num(toks[6], lineno)?,
+                ));
+            }
+            "pin" => {
+                if toks.len() < 8 || (toks.len() - 3) % 5 != 0 {
+                    return Err(parse_err(lineno, "pin needs name, net and 5-field shapes"));
+                }
+                let pin_name = toks[1].to_string();
+                let net_idx = toks[2]
+                    .parse::<usize>()
+                    .map_err(|_| parse_err(lineno, "bad net index"))?;
+                let mut shapes = Vec::new();
+                let mut k = 3;
+                while k < toks.len() {
+                    let layer = toks[k]
+                        .parse::<u32>()
+                        .map_err(|_| parse_err(lineno, "bad layer index"))?;
+                    let rect = Rect::from_coords(
+                        parse_num(toks[k + 1], lineno)?,
+                        parse_num(toks[k + 2], lineno)?,
+                        parse_num(toks[k + 3], lineno)?,
+                        parse_num(toks[k + 4], lineno)?,
+                    );
+                    shapes.push((LayerId::new(layer), rect));
+                    k += 5;
+                }
+                pins.push((pin_name, net_idx, shapes));
+            }
+            "net" => {
+                if toks.len() < 2 {
+                    return Err(parse_err(lineno, "net needs a name"));
+                }
+                let net_name = toks[1].to_string();
+                let mut pin_refs = Vec::new();
+                for t in &toks[2..] {
+                    pin_refs.push(
+                        t.parse::<usize>()
+                            .map_err(|_| parse_err(lineno, "bad pin index"))?,
+                    );
+                }
+                nets.push((net_name, pin_refs));
+            }
+            "obs" => {
+                if toks.len() != 7 {
+                    return Err(parse_err(lineno, "obs needs 6 fields"));
+                }
+                let layer = toks[1]
+                    .parse::<u32>()
+                    .map_err(|_| parse_err(lineno, "bad layer index"))?;
+                let rect = Rect::from_coords(
+                    parse_num(toks[2], lineno)?,
+                    parse_num(toks[3], lineno)?,
+                    parse_num(toks[4], lineno)?,
+                    parse_num(toks[5], lineno)?,
+                );
+                let colorable = toks[6] != "0";
+                obstacles.push((layer, rect, colorable));
+            }
+            other => {
+                return Err(parse_err(lineno, format!("unknown directive `{other}`")));
+            }
+        }
+    }
+
+    let die = die.ok_or_else(|| parse_err(0, "missing die line"))?;
+    let tech = Technology::new(layers, dcolor, 1000)?;
+    let mut builder = DesignBuilder::new(name, tech, die);
+
+    let mut pin_ids = Vec::with_capacity(pins.len());
+    for (pin_name, _net, shapes) in &pins {
+        pin_ids.push(builder.add_pin(pin_name.clone(), shapes.clone()));
+    }
+    for (net_name, pin_refs) in &nets {
+        let ids = pin_refs
+            .iter()
+            .map(|idx| {
+                pin_ids
+                    .get(*idx)
+                    .copied()
+                    .ok_or_else(|| parse_err(0, format!("net {net_name} references missing pin {idx}")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        builder.add_net(net_name.clone(), ids);
+    }
+    for (layer, rect, colorable) in obstacles {
+        if colorable {
+            builder.add_obstacle(layer, rect);
+        } else {
+            builder.add_blockage(layer, rect);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DesignBuilder;
+
+    fn sample() -> Design {
+        let mut b = DesignBuilder::new(
+            "roundtrip",
+            Technology::ispd_like(3),
+            Rect::from_coords(0, 0, 500, 500),
+        );
+        let p0 = b.add_pin_shape("a", 0, Rect::from_coords(0, 0, 10, 10));
+        let p1 = b.add_pin_shape("b", 1, Rect::from_coords(100, 100, 110, 110));
+        let p2 = b.add_pin_shape("c", 0, Rect::from_coords(400, 30, 410, 40));
+        b.add_net("n0", vec![p0, p1, p2]);
+        b.add_obstacle(1, Rect::from_coords(200, 200, 260, 260));
+        b.add_blockage(2, Rect::from_coords(300, 300, 360, 360));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let d = sample();
+        let text = write_design(&d);
+        let d2 = read_design(&text).unwrap();
+        assert_eq!(d2.name(), d.name());
+        assert_eq!(d2.die(), d.die());
+        assert_eq!(d2.tech().dcolor(), d.tech().dcolor());
+        assert_eq!(d2.tech().num_layers(), d.tech().num_layers());
+        assert_eq!(d2.nets().len(), d.nets().len());
+        assert_eq!(d2.pins().len(), d.pins().len());
+        assert_eq!(d2.obstacles().len(), d.obstacles().len());
+        assert_eq!(d2.obstacles()[1].colorable, false);
+        assert_eq!(d2.net(crate::NetId::new(0)).pin_count(), 3);
+    }
+
+    #[test]
+    fn parse_reports_line_numbers() {
+        let text = "design x\ndie 0 0 100 100\ndcolor 30\nlayer M1 H 20 10 8 8\nbogus line here\n";
+        match read_design(text) {
+            Err(DesignError::Parse { line, .. }) => assert_eq!(line, 5),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_missing_die() {
+        let text = "design x\ndcolor 30\nlayer M1 H 20 10 8 8\n";
+        assert!(matches!(read_design(text), Err(DesignError::Parse { .. })));
+    }
+
+    #[test]
+    fn parse_rejects_bad_axis_and_numbers() {
+        let text = "design x\ndie 0 0 10 10\ndcolor 30\nlayer M1 Q 20 10 8 8\n";
+        assert!(read_design(text).is_err());
+        let text = "design x\ndie 0 0 ten 10\ndcolor 30\nlayer M1 H 20 10 8 8\n";
+        assert!(read_design(text).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let d = sample();
+        let mut text = String::from("# header comment\n\n");
+        text.push_str(&write_design(&d));
+        assert!(read_design(&text).is_ok());
+    }
+}

@@ -1,0 +1,93 @@
+//! Strongly-typed identifiers for design objects.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            #[inline]
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// The raw index, usable for dense `Vec` indexing.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(raw: usize) -> Self {
+                Self(raw as u32)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a routing layer (0 = lowest metal).
+    LayerId,
+    "M"
+);
+id_type!(
+    /// Identifier of a net.
+    NetId,
+    "net"
+);
+id_type!(
+    /// Identifier of a pin.
+    PinId,
+    "pin"
+);
+id_type!(
+    /// Identifier of a routing obstacle.
+    ObstacleId,
+    "obs"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_through_index() {
+        let n = NetId::new(42);
+        assert_eq!(n.index(), 42);
+        assert_eq!(NetId::from(42usize), n);
+        assert_eq!(NetId::from(42u32), n);
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(LayerId::new(3).to_string(), "M3");
+        assert_eq!(NetId::new(7).to_string(), "net7");
+        assert_eq!(PinId::new(1).to_string(), "pin1");
+        assert_eq!(ObstacleId::new(0).to_string(), "obs0");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_raw_value() {
+        assert!(NetId::new(1) < NetId::new(2));
+        assert_eq!(NetId::default(), NetId::new(0));
+    }
+}

@@ -1,0 +1,210 @@
+//! Layer stack and technology description.
+
+use crate::{DesignError, LayerId};
+use tpl_geom::{Axis, Dbu};
+
+/// A single routing layer.
+///
+/// Layers carry the track geometry (preferred axis, pitch, offset), the
+/// default wire width and minimum spacing used for design-rule checking.
+///
+/// # Examples
+///
+/// ```
+/// use tpl_design::Layer;
+/// use tpl_geom::Axis;
+/// let m1 = Layer::new("M1", Axis::Horizontal, 20, 10, 8, 8);
+/// assert_eq!(m1.pitch, 20);
+/// assert!(m1.axis.is_horizontal());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Layer {
+    /// Human-readable layer name (`M1`, `M2`, …).
+    pub name: String,
+    /// Preferred routing axis of the layer.
+    pub axis: Axis,
+    /// Track pitch in database units.
+    pub pitch: Dbu,
+    /// Offset of the first track from the die origin.
+    pub offset: Dbu,
+    /// Default wire width.
+    pub width: Dbu,
+    /// Minimum same-layer spacing between different nets.
+    pub spacing: Dbu,
+}
+
+impl Layer {
+    /// Creates a layer description.
+    pub fn new(
+        name: impl Into<String>,
+        axis: Axis,
+        pitch: Dbu,
+        offset: Dbu,
+        width: Dbu,
+        spacing: Dbu,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            axis,
+            pitch,
+            offset,
+            width,
+            spacing,
+        }
+    }
+}
+
+/// The technology description: layer stack plus triple-patterning rules.
+///
+/// `dcolor` is the colour-spacing distance of the paper: two features on the
+/// same layer whose spacing is below `dcolor` must be printed on different
+/// masks, otherwise a colour conflict is reported.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Technology {
+    layers: Vec<Layer>,
+    dcolor: Dbu,
+    dbu_per_micron: Dbu,
+}
+
+impl Technology {
+    /// Creates a technology from an explicit layer stack.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesignError::InvalidTechnology`] if the stack is empty, any
+    /// pitch/width/spacing is non-positive, or `dcolor` is non-positive.
+    pub fn new(layers: Vec<Layer>, dcolor: Dbu, dbu_per_micron: Dbu) -> Result<Self, DesignError> {
+        if layers.is_empty() {
+            return Err(DesignError::InvalidTechnology("empty layer stack".into()));
+        }
+        for l in &layers {
+            if l.pitch <= 0 || l.width <= 0 || l.spacing <= 0 {
+                return Err(DesignError::InvalidTechnology(format!(
+                    "layer {} has non-positive pitch/width/spacing",
+                    l.name
+                )));
+            }
+        }
+        if dcolor <= 0 {
+            return Err(DesignError::InvalidTechnology(
+                "dcolor must be positive".into(),
+            ));
+        }
+        Ok(Self {
+            layers,
+            dcolor,
+            dbu_per_micron,
+        })
+    }
+
+    /// A canonical ISPD-like stack with `num_layers` metal layers.
+    ///
+    /// Layer `M1` is horizontal and mostly used for pin access; preferred
+    /// directions alternate above it.  The pitch is 20 dbu, wire width 8 dbu,
+    /// same-net spacing 8 dbu and the TPL colour-spacing distance `Dcolor` is
+    /// 2.25 pitches (45 dbu): wires one or two tracks apart must use
+    /// different masks, wires three tracks apart are free.  This is the rule
+    /// that makes four tightly packed parallel wires (a K4 in the conflict
+    /// graph) impossible to colour with three masks, exactly the situation of
+    /// Fig. 1(a) in the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_layers` is zero.
+    pub fn ispd_like(num_layers: usize) -> Self {
+        assert!(num_layers > 0, "need at least one layer");
+        let pitch = 20;
+        let layers = (0..num_layers)
+            .map(|i| {
+                let axis = if i % 2 == 0 {
+                    Axis::Horizontal
+                } else {
+                    Axis::Vertical
+                };
+                Layer::new(format!("M{}", i + 1), axis, pitch, pitch / 2, 8, 8)
+            })
+            .collect();
+        Technology::new(layers, 2 * pitch + pitch / 4, 1000).expect("canonical stack is valid")
+    }
+
+    /// The layer stack, bottom-up.
+    #[inline]
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Number of routing layers.
+    #[inline]
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Looks up a layer by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[inline]
+    pub fn layer(&self, id: LayerId) -> &Layer {
+        &self.layers[id.index()]
+    }
+
+    /// The TPL colour-spacing distance (`Dcolor` in the paper).
+    #[inline]
+    pub fn dcolor(&self) -> Dbu {
+        self.dcolor
+    }
+
+    /// Database units per micron (purely informational).
+    #[inline]
+    pub fn dbu_per_micron(&self) -> Dbu {
+        self.dbu_per_micron
+    }
+
+    /// Iterator over `(LayerId, &Layer)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (LayerId, &Layer)> {
+        self.layers
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (LayerId::from(i), l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ispd_like_alternates_axes() {
+        let t = Technology::ispd_like(5);
+        assert_eq!(t.num_layers(), 5);
+        assert_eq!(t.layer(LayerId::new(0)).axis, Axis::Horizontal);
+        assert_eq!(t.layer(LayerId::new(1)).axis, Axis::Vertical);
+        assert_eq!(t.layer(LayerId::new(2)).axis, Axis::Horizontal);
+        assert!(t.dcolor() > 2 * t.layer(LayerId::new(0)).pitch);
+        assert!(t.dcolor() < 3 * t.layer(LayerId::new(0)).pitch);
+    }
+
+    #[test]
+    fn rejects_empty_stack() {
+        assert!(matches!(
+            Technology::new(vec![], 10, 1000),
+            Err(DesignError::InvalidTechnology(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_pitch_and_dcolor() {
+        let bad_layer = Layer::new("M1", Axis::Horizontal, 0, 0, 8, 8);
+        assert!(Technology::new(vec![bad_layer], 10, 1000).is_err());
+        let ok_layer = Layer::new("M1", Axis::Horizontal, 20, 0, 8, 8);
+        assert!(Technology::new(vec![ok_layer], 0, 1000).is_err());
+    }
+
+    #[test]
+    fn iter_yields_ids_in_order() {
+        let t = Technology::ispd_like(3);
+        let ids: Vec<_> = t.iter().map(|(id, _)| id.index()).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,76 @@
+//! Nets: named groups of pins to be connected.
+
+use crate::{NetId, PinId};
+
+/// A net connects two or more pins.
+///
+/// Mr.TPL's contribution is specifically about *multi-pin* nets
+/// (`pin_count() > 2`), which is why the net keeps its pin list in routing
+/// order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Net {
+    id: NetId,
+    name: String,
+    pins: Vec<PinId>,
+}
+
+impl Net {
+    /// Creates a net over the given pins.
+    pub fn new(id: NetId, name: impl Into<String>, pins: Vec<PinId>) -> Self {
+        Self {
+            id,
+            name: name.into(),
+            pins,
+        }
+    }
+
+    /// The net identifier.
+    #[inline]
+    pub fn id(&self) -> NetId {
+        self.id
+    }
+
+    /// The net name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The pins of the net, in input order.
+    #[inline]
+    pub fn pins(&self) -> &[PinId] {
+        &self.pins
+    }
+
+    /// Number of pins.
+    #[inline]
+    pub fn pin_count(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// `true` when the net has more than two pins (the case the paper targets).
+    #[inline]
+    pub fn is_multi_pin(&self) -> bool {
+        self.pins.len() > 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multi_pin_detection() {
+        let two = Net::new(NetId::new(0), "a", vec![PinId::new(0), PinId::new(1)]);
+        let four = Net::new(
+            NetId::new(1),
+            "b",
+            (0..4).map(PinId::new).collect(),
+        );
+        assert!(!two.is_multi_pin());
+        assert!(four.is_multi_pin());
+        assert_eq!(four.pin_count(), 4);
+        assert_eq!(four.name(), "b");
+        assert_eq!(four.id(), NetId::new(1));
+    }
+}

@@ -1,0 +1,61 @@
+//! Routing obstacles (macro blockages, pre-routed power straps, …).
+
+use crate::{LayerId, ObstacleId};
+use tpl_geom::Rect;
+
+/// A rectangular routing blockage on one layer.
+///
+/// Obstacles block grid vertices during routing and participate in colour
+/// conflicts like any other feature (a wire closer than `Dcolor` to an
+/// obstacle printed on the same mask conflicts with it).  Obstacles whose
+/// `colorable` flag is `false` are dummy fill or power shapes outside the TPL
+/// layer set and only block routing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Obstacle {
+    /// The obstacle identifier.
+    pub id: ObstacleId,
+    /// Layer the obstacle sits on.
+    pub layer: LayerId,
+    /// The blocked region.
+    pub rect: Rect,
+    /// Whether the obstacle participates in mask colouring.
+    pub colorable: bool,
+}
+
+impl Obstacle {
+    /// Creates a colourable obstacle.
+    pub fn new(id: ObstacleId, layer: LayerId, rect: Rect) -> Self {
+        Self {
+            id,
+            layer,
+            rect,
+            colorable: true,
+        }
+    }
+
+    /// Creates an obstacle that only blocks routing and never takes a mask.
+    pub fn non_colorable(id: ObstacleId, layer: LayerId, rect: Rect) -> Self {
+        Self {
+            id,
+            layer,
+            rect,
+            colorable: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_colorable_flag() {
+        let r = Rect::from_coords(0, 0, 10, 10);
+        let a = Obstacle::new(ObstacleId::new(0), LayerId::new(1), r);
+        let b = Obstacle::non_colorable(ObstacleId::new(1), LayerId::new(1), r);
+        assert!(a.colorable);
+        assert!(!b.colorable);
+        assert_eq!(a.rect, r);
+        assert_eq!(b.layer, LayerId::new(1));
+    }
+}

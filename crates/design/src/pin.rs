@@ -1,0 +1,120 @@
+//! Pins: the terminals a router must connect.
+
+use crate::{LayerId, NetId, PinId};
+use tpl_geom::Rect;
+
+/// A pin is a named set of metal shapes that belongs to exactly one net.
+///
+/// # Examples
+///
+/// ```
+/// use tpl_design::{LayerId, NetId, Pin, PinId};
+/// use tpl_geom::Rect;
+/// let pin = Pin::new(PinId::new(0), "u1/a", NetId::new(0),
+///                    vec![(LayerId::new(0), Rect::from_coords(0, 0, 10, 10))]);
+/// assert_eq!(pin.bbox().unwrap().width(), 10);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Pin {
+    id: PinId,
+    name: String,
+    net: NetId,
+    shapes: Vec<(LayerId, Rect)>,
+}
+
+impl Pin {
+    /// Creates a pin from its shapes.
+    pub fn new(
+        id: PinId,
+        name: impl Into<String>,
+        net: NetId,
+        shapes: Vec<(LayerId, Rect)>,
+    ) -> Self {
+        Self {
+            id,
+            name: name.into(),
+            net,
+            shapes,
+        }
+    }
+
+    /// The pin identifier.
+    #[inline]
+    pub fn id(&self) -> PinId {
+        self.id
+    }
+
+    /// The pin name (instance/port style, purely informational).
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The net this pin belongs to.
+    #[inline]
+    pub fn net(&self) -> NetId {
+        self.net
+    }
+
+    /// The metal shapes making up the pin.
+    #[inline]
+    pub fn shapes(&self) -> &[(LayerId, Rect)] {
+        &self.shapes
+    }
+
+    /// Bounding box over all shapes (ignoring layers); `None` for a pin with
+    /// no shapes.
+    pub fn bbox(&self) -> Option<Rect> {
+        let mut it = self.shapes.iter().map(|(_, r)| *r);
+        let first = it.next()?;
+        Some(it.fold(first, |acc, r| acc.hull(&r)))
+    }
+
+    /// The lowest layer any shape of this pin touches.
+    pub fn lowest_layer(&self) -> Option<LayerId> {
+        self.shapes.iter().map(|(l, _)| *l).min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pin() -> Pin {
+        Pin::new(
+            PinId::new(1),
+            "u3/q",
+            NetId::new(2),
+            vec![
+                (LayerId::new(0), Rect::from_coords(0, 0, 10, 10)),
+                (LayerId::new(1), Rect::from_coords(40, 40, 60, 50)),
+            ],
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let p = pin();
+        assert_eq!(p.id(), PinId::new(1));
+        assert_eq!(p.name(), "u3/q");
+        assert_eq!(p.net(), NetId::new(2));
+        assert_eq!(p.shapes().len(), 2);
+    }
+
+    #[test]
+    fn bbox_covers_all_shapes() {
+        assert_eq!(pin().bbox(), Some(Rect::from_coords(0, 0, 60, 50)));
+    }
+
+    #[test]
+    fn empty_pin_has_no_bbox() {
+        let p = Pin::new(PinId::new(0), "x", NetId::new(0), vec![]);
+        assert_eq!(p.bbox(), None);
+        assert_eq!(p.lowest_layer(), None);
+    }
+
+    #[test]
+    fn lowest_layer_is_minimum() {
+        assert_eq!(pin().lowest_layer(), Some(LayerId::new(0)));
+    }
+}

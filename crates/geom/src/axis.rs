@@ -1,0 +1,65 @@
+//! Layer routing axes.
+
+use std::fmt;
+
+/// The preferred routing axis of a metal layer.
+///
+/// Detailed routing grids alternate between horizontal and vertical layers;
+/// wrong-way routing (using the non-preferred axis) is allowed but penalised.
+///
+/// # Examples
+///
+/// ```
+/// use tpl_geom::Axis;
+/// assert_eq!(Axis::Horizontal.perpendicular(), Axis::Vertical);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Axis {
+    /// Tracks run left-to-right; wires mostly move along `x`.
+    Horizontal,
+    /// Tracks run bottom-to-top; wires mostly move along `y`.
+    Vertical,
+}
+
+impl Axis {
+    /// Returns the other axis.
+    #[inline]
+    pub fn perpendicular(self) -> Axis {
+        match self {
+            Axis::Horizontal => Axis::Vertical,
+            Axis::Vertical => Axis::Horizontal,
+        }
+    }
+
+    /// `true` if this axis is horizontal.
+    #[inline]
+    pub fn is_horizontal(self) -> bool {
+        matches!(self, Axis::Horizontal)
+    }
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Axis::Horizontal => f.write_str("H"),
+            Axis::Vertical => f.write_str("V"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perpendicular_is_involutive() {
+        assert_eq!(Axis::Horizontal.perpendicular().perpendicular(), Axis::Horizontal);
+        assert_eq!(Axis::Vertical.perpendicular(), Axis::Horizontal);
+    }
+
+    #[test]
+    fn display_letters() {
+        assert_eq!(Axis::Horizontal.to_string(), "H");
+        assert_eq!(Axis::Vertical.to_string(), "V");
+    }
+}

@@ -1,0 +1,157 @@
+//! Routing directions.
+
+use crate::Axis;
+use std::fmt;
+
+/// The six routing directions used by the grid graph.
+///
+/// The four planar directions move within a metal layer; [`Dir::Up`] and
+/// [`Dir::Down`] move between adjacent layers through a via.  The paper's
+/// Algorithm 2 iterates over exactly this set (`{F,B,R,L,U,D}`).
+///
+/// # Examples
+///
+/// ```
+/// use tpl_geom::Dir;
+/// assert_eq!(Dir::East.opposite(), Dir::West);
+/// assert!(Dir::Up.is_via());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Dir {
+    /// Towards increasing `x`.
+    East,
+    /// Towards decreasing `x`.
+    West,
+    /// Towards increasing `y`.
+    North,
+    /// Towards decreasing `y`.
+    South,
+    /// Towards the layer above (via).
+    Up,
+    /// Towards the layer below (via).
+    Down,
+}
+
+impl Dir {
+    /// All six directions, in deterministic expansion order.
+    pub const ALL: [Dir; 6] = [
+        Dir::East,
+        Dir::West,
+        Dir::North,
+        Dir::South,
+        Dir::Up,
+        Dir::Down,
+    ];
+
+    /// The four planar directions only.
+    pub const PLANAR: [Dir; 4] = [Dir::East, Dir::West, Dir::North, Dir::South];
+
+    /// Returns the opposite direction.
+    #[inline]
+    pub fn opposite(self) -> Dir {
+        match self {
+            Dir::East => Dir::West,
+            Dir::West => Dir::East,
+            Dir::North => Dir::South,
+            Dir::South => Dir::North,
+            Dir::Up => Dir::Down,
+            Dir::Down => Dir::Up,
+        }
+    }
+
+    /// `true` for the two via directions.
+    #[inline]
+    pub fn is_via(self) -> bool {
+        matches!(self, Dir::Up | Dir::Down)
+    }
+
+    /// `true` for the four in-plane directions.
+    #[inline]
+    pub fn is_planar(self) -> bool {
+        !self.is_via()
+    }
+
+    /// The axis a planar direction runs along.
+    ///
+    /// Returns `None` for via directions.
+    #[inline]
+    pub fn axis(self) -> Option<Axis> {
+        match self {
+            Dir::East | Dir::West => Some(Axis::Horizontal),
+            Dir::North | Dir::South => Some(Axis::Vertical),
+            Dir::Up | Dir::Down => None,
+        }
+    }
+
+    /// A small dense index (0..6) usable for lookup tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Dir::East => 0,
+            Dir::West => 1,
+            Dir::North => 2,
+            Dir::South => 3,
+            Dir::Up => 4,
+            Dir::Down => 5,
+        }
+    }
+}
+
+impl fmt::Display for Dir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Dir::East => "E",
+            Dir::West => "W",
+            Dir::North => "N",
+            Dir::South => "S",
+            Dir::Up => "U",
+            Dir::Down => "D",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opposite_is_involutive() {
+        for d in Dir::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+        }
+    }
+
+    #[test]
+    fn planar_and_via_partition_all() {
+        let planar = Dir::ALL.iter().filter(|d| d.is_planar()).count();
+        let via = Dir::ALL.iter().filter(|d| d.is_via()).count();
+        assert_eq!(planar, 4);
+        assert_eq!(via, 2);
+    }
+
+    #[test]
+    fn axis_of_planar_directions() {
+        assert_eq!(Dir::East.axis(), Some(Axis::Horizontal));
+        assert_eq!(Dir::West.axis(), Some(Axis::Horizontal));
+        assert_eq!(Dir::North.axis(), Some(Axis::Vertical));
+        assert_eq!(Dir::South.axis(), Some(Axis::Vertical));
+        assert_eq!(Dir::Up.axis(), None);
+    }
+
+    #[test]
+    fn indices_are_unique_and_dense() {
+        let mut seen = [false; 6];
+        for d in Dir::ALL {
+            assert!(!seen[d.index()]);
+            seen[d.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn display_single_letter() {
+        assert_eq!(Dir::North.to_string(), "N");
+        assert_eq!(Dir::Down.to_string(), "D");
+    }
+}

@@ -1,0 +1,171 @@
+//! Closed 1-D integer intervals.
+
+use crate::Dbu;
+use std::fmt;
+
+/// A closed interval `[lo, hi]` on one axis, in database units.
+///
+/// Used for track spans, rectangle projections and stitch-candidate
+/// computation.  An interval with `lo > hi` is considered empty.
+///
+/// # Examples
+///
+/// ```
+/// use tpl_geom::Interval;
+/// let a = Interval::new(0, 10);
+/// let b = Interval::new(4, 20);
+/// assert_eq!(a.intersection(&b), Interval::new(4, 10));
+/// assert_eq!(a.gap_to(&b), 0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Interval {
+    /// Lower bound (inclusive).
+    pub lo: Dbu,
+    /// Upper bound (inclusive).
+    pub hi: Dbu,
+}
+
+impl Interval {
+    /// Creates an interval; the bounds are taken as given (not reordered).
+    #[inline]
+    pub const fn new(lo: Dbu, hi: Dbu) -> Self {
+        Self { lo, hi }
+    }
+
+    /// An empty interval.
+    #[inline]
+    pub const fn empty() -> Self {
+        Self { lo: 1, hi: 0 }
+    }
+
+    /// `true` when `lo > hi`.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// Length of the interval (`hi - lo`), 0 for a degenerate point, and 0
+    /// for empty intervals.
+    #[inline]
+    pub fn length(&self) -> Dbu {
+        if self.is_empty() {
+            0
+        } else {
+            self.hi - self.lo
+        }
+    }
+
+    /// `true` if `v` lies within the closed interval.
+    #[inline]
+    pub fn contains(&self, v: Dbu) -> bool {
+        v >= self.lo && v <= self.hi
+    }
+
+    /// `true` if the two intervals share at least one value.
+    #[inline]
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        !self.is_empty() && !other.is_empty() && self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// The intersection of two intervals (possibly empty).
+    #[inline]
+    pub fn intersection(&self, other: &Interval) -> Interval {
+        Interval::new(self.lo.max(other.lo), self.hi.min(other.hi))
+    }
+
+    /// The smallest interval covering both inputs.
+    #[inline]
+    pub fn hull(&self, other: &Interval) -> Interval {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Interval::new(self.lo.min(other.lo), self.hi.max(other.hi))
+    }
+
+    /// The gap between two disjoint intervals, 0 if they touch or overlap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either interval is empty.
+    #[inline]
+    pub fn gap_to(&self, other: &Interval) -> Dbu {
+        assert!(!self.is_empty() && !other.is_empty(), "gap_to on empty interval");
+        if self.overlaps(other) {
+            0
+        } else if self.hi < other.lo {
+            other.lo - self.hi
+        } else {
+            self.lo - other.hi
+        }
+    }
+
+    /// Returns the interval expanded by `amount` on both sides.
+    #[inline]
+    pub fn expanded(&self, amount: Dbu) -> Interval {
+        Interval::new(self.lo - amount, self.hi + amount)
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_interval_properties() {
+        let e = Interval::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.length(), 0);
+        assert!(!e.overlaps(&Interval::new(0, 100)));
+    }
+
+    #[test]
+    fn overlap_and_intersection() {
+        let a = Interval::new(0, 10);
+        let b = Interval::new(5, 15);
+        let c = Interval::new(11, 20);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert_eq!(a.intersection(&b), Interval::new(5, 10));
+        assert!(a.intersection(&c).is_empty());
+    }
+
+    #[test]
+    fn hull_covers_both() {
+        let a = Interval::new(0, 3);
+        let b = Interval::new(10, 12);
+        assert_eq!(a.hull(&b), Interval::new(0, 12));
+        assert_eq!(Interval::empty().hull(&a), a);
+        assert_eq!(a.hull(&Interval::empty()), a);
+    }
+
+    #[test]
+    fn gap_between_disjoint_intervals() {
+        let a = Interval::new(0, 3);
+        let b = Interval::new(10, 12);
+        assert_eq!(a.gap_to(&b), 7);
+        assert_eq!(b.gap_to(&a), 7);
+        assert_eq!(a.gap_to(&Interval::new(3, 5)), 0);
+    }
+
+    #[test]
+    fn contains_endpoints() {
+        let a = Interval::new(2, 4);
+        assert!(a.contains(2));
+        assert!(a.contains(4));
+        assert!(!a.contains(5));
+    }
+
+    #[test]
+    fn expanded_grows_both_sides() {
+        assert_eq!(Interval::new(2, 4).expanded(3), Interval::new(-1, 7));
+    }
+}

@@ -1,0 +1,276 @@
+//! Axis-aligned rectangles.
+
+use crate::{Dbu, Interval, Point};
+use std::fmt;
+
+/// A closed axis-aligned rectangle given by its lower-left and upper-right
+/// corners.
+///
+/// Rectangles are the unit of layout geometry: pin shapes, obstacles, routed
+/// wire segments and route-guide regions are all `Rect`s on some layer.
+/// Degenerate rectangles (zero width or height) are allowed and represent
+/// centre-line wire segments before width expansion.
+///
+/// # Examples
+///
+/// ```
+/// use tpl_geom::{Point, Rect};
+/// let r = Rect::new(Point::new(0, 0), Point::new(10, 4));
+/// assert_eq!(r.width(), 10);
+/// assert_eq!(r.height(), 4);
+/// assert_eq!(r.area(), 40);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Rect {
+    /// Lower-left corner.
+    pub lo: Point,
+    /// Upper-right corner.
+    pub hi: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from two corners, normalising so that
+    /// `lo <= hi` componentwise.
+    #[inline]
+    pub fn new(a: Point, b: Point) -> Self {
+        Self {
+            lo: a.componentwise_min(&b),
+            hi: a.componentwise_max(&b),
+        }
+    }
+
+    /// Creates a rectangle from raw coordinates `(x1, y1, x2, y2)`.
+    #[inline]
+    pub fn from_coords(x1: Dbu, y1: Dbu, x2: Dbu, y2: Dbu) -> Self {
+        Rect::new(Point::new(x1, y1), Point::new(x2, y2))
+    }
+
+    /// A unit square centred semantics helper: rectangle covering a single
+    /// point.
+    #[inline]
+    pub fn from_point(p: Point) -> Self {
+        Rect { lo: p, hi: p }
+    }
+
+    /// Width along `x`.
+    #[inline]
+    pub fn width(&self) -> Dbu {
+        self.hi.x - self.lo.x
+    }
+
+    /// Height along `y`.
+    #[inline]
+    pub fn height(&self) -> Dbu {
+        self.hi.y - self.lo.y
+    }
+
+    /// Area (`width * height`).
+    #[inline]
+    pub fn area(&self) -> i128 {
+        (self.width() as i128) * (self.height() as i128)
+    }
+
+    /// Half-perimeter wirelength of the rectangle.
+    #[inline]
+    pub fn half_perimeter(&self) -> Dbu {
+        self.width() + self.height()
+    }
+
+    /// The centre point, rounded towards the lower-left.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new(
+            self.lo.x + self.width() / 2,
+            self.lo.y + self.height() / 2,
+        )
+    }
+
+    /// Projection onto the x axis.
+    #[inline]
+    pub fn x_span(&self) -> Interval {
+        Interval::new(self.lo.x, self.hi.x)
+    }
+
+    /// Projection onto the y axis.
+    #[inline]
+    pub fn y_span(&self) -> Interval {
+        Interval::new(self.lo.y, self.hi.y)
+    }
+
+    /// `true` if the point lies inside or on the boundary.
+    #[inline]
+    pub fn contains(&self, p: &Point) -> bool {
+        self.x_span().contains(p.x) && self.y_span().contains(p.y)
+    }
+
+    /// `true` if `other` is entirely inside (or equal to) `self`.
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        self.lo.x <= other.lo.x
+            && self.lo.y <= other.lo.y
+            && self.hi.x >= other.hi.x
+            && self.hi.y >= other.hi.y
+    }
+
+    /// `true` if the two closed rectangles share at least one point
+    /// (touching boundaries count as intersecting).
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.x_span().overlaps(&other.x_span()) && self.y_span().overlaps(&other.y_span())
+    }
+
+    /// The overlapping region, if any.
+    #[inline]
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Rect {
+            lo: self.lo.componentwise_max(&other.lo),
+            hi: self.hi.componentwise_min(&other.hi),
+        })
+    }
+
+    /// The smallest rectangle covering both inputs.
+    #[inline]
+    pub fn hull(&self, other: &Rect) -> Rect {
+        Rect {
+            lo: self.lo.componentwise_min(&other.lo),
+            hi: self.hi.componentwise_max(&other.hi),
+        }
+    }
+
+    /// Returns the rectangle expanded by `amount` on every side (bloat).
+    /// Negative amounts shrink the rectangle.
+    #[inline]
+    pub fn expanded(&self, amount: Dbu) -> Rect {
+        Rect {
+            lo: self.lo.translated(-amount, -amount),
+            hi: self.hi.translated(amount, amount),
+        }
+    }
+
+    /// Rectilinear spacing between two rectangles.
+    ///
+    /// If the rectangles overlap in one axis, the spacing is the gap along the
+    /// other axis; if they overlap in both, the spacing is 0.  When the
+    /// rectangles are diagonal to each other the spacing is the Chebyshev
+    /// corner distance (the larger of the two gaps), matching how contest
+    /// checkers evaluate the colour-spacing rule on grid-aligned geometry.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tpl_geom::Rect;
+    /// let a = Rect::from_coords(0, 0, 10, 10);
+    /// let b = Rect::from_coords(13, 0, 20, 10);
+    /// assert_eq!(a.spacing_to(&b), 3);
+    /// ```
+    #[inline]
+    pub fn spacing_to(&self, other: &Rect) -> Dbu {
+        let dx = self.x_span().gap_to(&other.x_span());
+        let dy = self.y_span().gap_to(&other.y_span());
+        dx.max(dy)
+    }
+
+    /// Squared Euclidean spacing between two rectangles (0 when they touch or
+    /// overlap).  Used when the colour-spacing rule is a Euclidean distance.
+    #[inline]
+    pub fn euclidean_spacing_sq(&self, other: &Rect) -> i128 {
+        let dx = self.x_span().gap_to(&other.x_span());
+        let dy = self.y_span().gap_to(&other.y_span());
+        crate::dist_sq(dx, dy)
+    }
+
+    /// Spacing from the rectangle to a point (0 if the point is inside).
+    #[inline]
+    pub fn spacing_to_point(&self, p: &Point) -> Dbu {
+        self.spacing_to(&Rect::from_point(*p))
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} - {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_normalises_corners() {
+        let r = Rect::new(Point::new(10, 0), Point::new(0, 10));
+        assert_eq!(r.lo, Point::new(0, 0));
+        assert_eq!(r.hi, Point::new(10, 10));
+    }
+
+    #[test]
+    fn dimensions_and_area() {
+        let r = Rect::from_coords(2, 3, 12, 8);
+        assert_eq!(r.width(), 10);
+        assert_eq!(r.height(), 5);
+        assert_eq!(r.area(), 50);
+        assert_eq!(r.half_perimeter(), 15);
+        assert_eq!(r.center(), Point::new(7, 5));
+    }
+
+    #[test]
+    fn containment() {
+        let r = Rect::from_coords(0, 0, 10, 10);
+        assert!(r.contains(&Point::new(0, 0)));
+        assert!(r.contains(&Point::new(10, 10)));
+        assert!(!r.contains(&Point::new(11, 5)));
+        assert!(r.contains_rect(&Rect::from_coords(2, 2, 8, 8)));
+        assert!(!r.contains_rect(&Rect::from_coords(2, 2, 11, 8)));
+    }
+
+    #[test]
+    fn intersection_of_overlapping_rects() {
+        let a = Rect::from_coords(0, 0, 10, 10);
+        let b = Rect::from_coords(5, 5, 15, 15);
+        assert_eq!(a.intersection(&b), Some(Rect::from_coords(5, 5, 10, 10)));
+        let c = Rect::from_coords(11, 11, 20, 20);
+        assert_eq!(a.intersection(&c), None);
+    }
+
+    #[test]
+    fn touching_rects_intersect_with_zero_area() {
+        let a = Rect::from_coords(0, 0, 10, 10);
+        let b = Rect::from_coords(10, 0, 20, 10);
+        assert!(a.intersects(&b));
+        assert_eq!(a.intersection(&b).unwrap().area(), 0);
+        assert_eq!(a.spacing_to(&b), 0);
+    }
+
+    #[test]
+    fn spacing_in_one_axis() {
+        let a = Rect::from_coords(0, 0, 10, 10);
+        let b = Rect::from_coords(14, 2, 20, 8);
+        assert_eq!(a.spacing_to(&b), 4);
+        let c = Rect::from_coords(0, 17, 10, 20);
+        assert_eq!(a.spacing_to(&c), 7);
+    }
+
+    #[test]
+    fn diagonal_spacing_uses_corner_distance() {
+        let a = Rect::from_coords(0, 0, 10, 10);
+        let b = Rect::from_coords(13, 14, 20, 20);
+        assert_eq!(a.spacing_to(&b), 4);
+        assert_eq!(a.euclidean_spacing_sq(&b), 9 + 16);
+    }
+
+    #[test]
+    fn expanded_bloats_all_sides() {
+        let r = Rect::from_coords(5, 5, 10, 10).expanded(2);
+        assert_eq!(r, Rect::from_coords(3, 3, 12, 12));
+    }
+
+    #[test]
+    fn hull_covers_both() {
+        let a = Rect::from_coords(0, 0, 1, 1);
+        let b = Rect::from_coords(10, -5, 12, 0);
+        assert_eq!(a.hull(&b), Rect::from_coords(0, -5, 12, 1));
+    }
+}

@@ -1,0 +1,31 @@
+//! Coarse-grid congestion-aware global router producing route guides.
+//!
+//! The paper's detailed routers consume global-routing (GR) guides: Mr.TPL
+//! "calculates color cost by GR guide" and the ISPD cost function penalises
+//! out-of-guide wiring.  This crate provides the guide-producing substrate:
+//! a classic gcell-based global router with
+//!
+//! 1. minimum-spanning-tree topology generation per net,
+//! 2. L-shape pattern routing with congestion lookahead,
+//! 3. a maze-routing fallback on the coarse grid, and
+//! 4. a small number of negotiation (rip-up and reroute) rounds on
+//!    over-capacity gcell edges.
+//!
+//! # Examples
+//!
+//! ```
+//! use tpl_global::{GlobalConfig, GlobalRouter};
+//! use tpl_ispd::CaseParams;
+//!
+//! let design = CaseParams::ispd18_like(1).scaled(0.3).generate();
+//! let guides = GlobalRouter::new(GlobalConfig::default()).route(&design);
+//! assert_eq!(guides.num_nets(), design.nets().len());
+//! ```
+
+#![warn(missing_docs)]
+
+mod gcell;
+mod router;
+
+pub use gcell::GCellGrid;
+pub use router::{GlobalConfig, GlobalRouter, GlobalStats};

@@ -1,0 +1,585 @@
+//! The congestion-aware global router.
+
+use crate::GCellGrid;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use tpl_design::{Design, LayerId, NetId, RouteGuides};
+use tpl_geom::Point;
+
+/// Configuration of the global router.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GlobalConfig {
+    /// Number of detailed-routing tracks per gcell side.
+    pub tracks_per_gcell: usize,
+    /// Usable routing capacity per gcell edge (tracks), per planar layer.
+    pub capacity_per_layer: usize,
+    /// Number of negotiation rounds after the initial pass.
+    pub negotiation_rounds: usize,
+    /// Cost multiplier applied to an over-capacity gcell edge.
+    pub overflow_penalty: f64,
+    /// History cost added to every overflowed edge per negotiation round.
+    pub history_increment: f64,
+    /// Number of gcells by which guides are expanded around the route.
+    pub guide_expansion: usize,
+}
+
+impl Default for GlobalConfig {
+    fn default() -> Self {
+        Self {
+            tracks_per_gcell: 5,
+            capacity_per_layer: 4,
+            negotiation_rounds: 2,
+            overflow_penalty: 8.0,
+            history_increment: 2.0,
+            guide_expansion: 1,
+        }
+    }
+}
+
+/// Statistics reported after global routing.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct GlobalStats {
+    /// Total number of gcell-to-gcell edges used, summed over nets.
+    pub total_edge_usage: usize,
+    /// Number of edges whose demand exceeds capacity after the final round.
+    pub overflowed_edges: usize,
+    /// Number of 2-pin connections routed with an L-pattern.
+    pub pattern_routed: usize,
+    /// Number of 2-pin connections that needed the maze fallback.
+    pub maze_routed: usize,
+}
+
+/// The gcell-based global router.
+///
+/// See the crate documentation for the algorithm outline.
+#[derive(Clone, Debug)]
+pub struct GlobalRouter {
+    config: GlobalConfig,
+}
+
+/// Internal edge-demand bookkeeping on the coarse grid.
+struct EdgeMap {
+    nx: usize,
+    /// demand on horizontal edges ((gx,gy) -> (gx+1,gy)), size (nx-1)*ny.
+    h_demand: Vec<u32>,
+    /// demand on vertical edges ((gx,gy) -> (gx,gy+1)), size nx*(ny-1).
+    v_demand: Vec<u32>,
+    h_history: Vec<f64>,
+    v_history: Vec<f64>,
+    capacity: u32,
+}
+
+impl EdgeMap {
+    fn new(nx: usize, ny: usize, capacity: u32) -> Self {
+        let _ = ny;
+        Self {
+            nx,
+            h_demand: vec![0; (nx.saturating_sub(1)) * ny],
+            v_demand: vec![0; nx * (ny.saturating_sub(1))],
+            h_history: vec![0.0; (nx.saturating_sub(1)) * ny],
+            v_history: vec![0.0; nx * (ny.saturating_sub(1))],
+            capacity,
+        }
+    }
+
+    fn h_index(&self, gx: usize, gy: usize) -> usize {
+        gy * (self.nx - 1) + gx
+    }
+
+    fn v_index(&self, gx: usize, gy: usize) -> usize {
+        gy * self.nx + gx
+    }
+
+    /// Cost of crossing the edge between two horizontally adjacent cells.
+    fn h_cost(&self, gx: usize, gy: usize, cfg: &GlobalConfig) -> f64 {
+        let i = self.h_index(gx, gy);
+        let demand = self.h_demand[i];
+        let over = demand >= self.capacity;
+        1.0 + self.h_history[i] + if over { cfg.overflow_penalty } else { 0.0 }
+    }
+
+    fn v_cost(&self, gx: usize, gy: usize, cfg: &GlobalConfig) -> f64 {
+        let i = self.v_index(gx, gy);
+        let demand = self.v_demand[i];
+        let over = demand >= self.capacity;
+        1.0 + self.v_history[i] + if over { cfg.overflow_penalty } else { 0.0 }
+    }
+
+    fn add_path(&mut self, path: &[(usize, usize)], delta: i64) {
+        for w in path.windows(2) {
+            let (ax, ay) = w[0];
+            let (bx, by) = w[1];
+            if ay == by {
+                let i = self.h_index(ax.min(bx), ay);
+                self.h_demand[i] = (self.h_demand[i] as i64 + delta).max(0) as u32;
+            } else {
+                let i = self.v_index(ax, ay.min(by));
+                self.v_demand[i] = (self.v_demand[i] as i64 + delta).max(0) as u32;
+            }
+        }
+    }
+
+    fn path_overflowed(&self, path: &[(usize, usize)]) -> bool {
+        path.windows(2).any(|w| {
+            let (ax, ay) = w[0];
+            let (bx, by) = w[1];
+            if ay == by {
+                self.h_demand[self.h_index(ax.min(bx), ay)] > self.capacity
+            } else {
+                self.v_demand[self.v_index(ax, ay.min(by))] > self.capacity
+            }
+        })
+    }
+
+    fn bump_history_on_overflow(&mut self, increment: f64) -> usize {
+        let mut overflowed = 0;
+        for i in 0..self.h_demand.len() {
+            if self.h_demand[i] > self.capacity {
+                self.h_history[i] += increment;
+                overflowed += 1;
+            }
+        }
+        for i in 0..self.v_demand.len() {
+            if self.v_demand[i] > self.capacity {
+                self.v_history[i] += increment;
+                overflowed += 1;
+            }
+        }
+        overflowed
+    }
+
+    fn overflowed_edges(&self) -> usize {
+        self.h_demand.iter().filter(|d| **d > self.capacity).count()
+            + self.v_demand.iter().filter(|d| **d > self.capacity).count()
+    }
+}
+
+impl GlobalRouter {
+    /// Creates a router with the given configuration.
+    pub fn new(config: GlobalConfig) -> Self {
+        Self { config }
+    }
+
+    /// Routes every net of the design and returns its route guides.
+    pub fn route(&self, design: &Design) -> RouteGuides {
+        self.route_with_stats(design).0
+    }
+
+    /// Routes every net and also returns routing statistics.
+    pub fn route_with_stats(&self, design: &Design) -> (RouteGuides, GlobalStats) {
+        let cfg = &self.config;
+        let grid = GCellGrid::build(design, cfg.tracks_per_gcell);
+        // Planar capacity: layers above M1 contribute their tracks.
+        let planar_layers = design.tech().num_layers().saturating_sub(1).max(1);
+        let capacity = (cfg.capacity_per_layer * planar_layers) as u32;
+        let mut edges = EdgeMap::new(grid.nx(), grid.ny(), capacity);
+        let mut stats = GlobalStats::default();
+
+        // Net order: larger bounding boxes first (they have fewer detour
+        // options), deterministic tie-break on id.
+        let mut order: Vec<NetId> = design.nets().iter().map(|n| n.id()).collect();
+        order.sort_by_key(|id| {
+            let bbox = design.net_bbox(*id).map(|b| b.half_perimeter()).unwrap_or(0);
+            (Reverse(bbox), id.index())
+        });
+
+        // Each net is decomposed into MST edges over its pin centres.
+        let mut net_paths: Vec<Vec<Vec<(usize, usize)>>> = vec![Vec::new(); design.nets().len()];
+
+        for &net_id in &order {
+            let paths = self.route_net(design, &grid, &mut edges, net_id, &mut stats);
+            net_paths[net_id.index()] = paths;
+        }
+
+        // Negotiation rounds: rip up nets crossing overflowed edges and
+        // reroute them with history cost in place.
+        for _ in 0..cfg.negotiation_rounds {
+            let overflowed = edges.bump_history_on_overflow(cfg.history_increment);
+            if overflowed == 0 {
+                break;
+            }
+            for &net_id in &order {
+                let crosses_overflow = net_paths[net_id.index()]
+                    .iter()
+                    .any(|p| edges.path_overflowed(p));
+                if !crosses_overflow {
+                    continue;
+                }
+                for p in &net_paths[net_id.index()] {
+                    edges.add_path(p, -1);
+                }
+                let paths = self.route_net(design, &grid, &mut edges, net_id, &mut stats);
+                net_paths[net_id.index()] = paths;
+            }
+        }
+
+        stats.overflowed_edges = edges.overflowed_edges();
+        stats.total_edge_usage = net_paths
+            .iter()
+            .map(|paths| paths.iter().map(|p| p.len().saturating_sub(1)).sum::<usize>())
+            .sum();
+
+        // Convert paths into guides: the union of visited gcells expanded by
+        // `guide_expansion` cells, emitted on every routing layer.
+        let mut guides = RouteGuides::new(design.nets().len());
+        for net in design.nets() {
+            let mut cells: Vec<(usize, usize)> = net_paths[net.id().index()]
+                .iter()
+                .flatten()
+                .copied()
+                .collect();
+            // Always include the pin gcells even for single-gcell nets.
+            for pin in net.pins() {
+                if let Some(b) = design.pin(*pin).bbox() {
+                    cells.push(grid.cell_of(b.center()));
+                }
+            }
+            cells.sort_unstable();
+            cells.dedup();
+            let e = cfg.guide_expansion;
+            for (gx, gy) in cells {
+                let lo = grid.cell_rect(gx.saturating_sub(e), gy.saturating_sub(e));
+                let hi = grid.cell_rect(
+                    (gx + e).min(grid.nx() - 1),
+                    (gy + e).min(grid.ny() - 1),
+                );
+                let rect = lo.hull(&hi);
+                for layer in 0..design.tech().num_layers() {
+                    guides.add(net.id(), LayerId::from(layer), rect);
+                }
+            }
+        }
+        (guides, stats)
+    }
+
+    /// Routes one net: MST topology, then L-pattern or maze per 2-pin edge.
+    fn route_net(
+        &self,
+        design: &Design,
+        grid: &GCellGrid,
+        edges: &mut EdgeMap,
+        net_id: NetId,
+        stats: &mut GlobalStats,
+    ) -> Vec<Vec<(usize, usize)>> {
+        let net = design.net(net_id);
+        let mut terminals: Vec<(usize, usize)> = net
+            .pins()
+            .iter()
+            .filter_map(|p| design.pin(*p).bbox())
+            .map(|b| grid.cell_of(b.center()))
+            .collect();
+        terminals.sort_unstable();
+        terminals.dedup();
+        if terminals.len() < 2 {
+            return Vec::new();
+        }
+
+        let mst = minimum_spanning_tree(&terminals);
+        let mut paths = Vec::with_capacity(mst.len());
+        for (a, b) in mst {
+            let src = terminals[a];
+            let dst = terminals[b];
+            let path = self.route_two_pin(grid, edges, src, dst, stats);
+            edges.add_path(&path, 1);
+            paths.push(path);
+        }
+        paths
+    }
+
+    /// Routes a single 2-pin connection on the coarse grid.
+    fn route_two_pin(
+        &self,
+        grid: &GCellGrid,
+        edges: &EdgeMap,
+        src: (usize, usize),
+        dst: (usize, usize),
+        stats: &mut GlobalStats,
+    ) -> Vec<(usize, usize)> {
+        let cfg = &self.config;
+        // Try both L shapes first.
+        let l1 = l_path(src, dst, true);
+        let l2 = l_path(src, dst, false);
+        let c1 = path_cost(&l1, edges, cfg);
+        let c2 = path_cost(&l2, edges, cfg);
+        let best_l = if c1 <= c2 { (l1, c1) } else { (l2, c2) };
+        // If the cheaper L avoids overflow entirely, take it.
+        let clean_len = (best_l.0.len() as f64 - 1.0).max(0.0);
+        if best_l.1 <= clean_len + 0.5 {
+            stats.pattern_routed += 1;
+            return best_l.0;
+        }
+        // Otherwise run a congestion-aware maze (Dijkstra) on the gcell grid.
+        stats.maze_routed += 1;
+        maze_route(grid, edges, src, dst, cfg).unwrap_or(best_l.0)
+    }
+}
+
+/// Manhattan-distance MST (Prim) over terminal gcells; returns index pairs.
+fn minimum_spanning_tree(terminals: &[(usize, usize)]) -> Vec<(usize, usize)> {
+    let n = terminals.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    let dist = |a: (usize, usize), b: (usize, usize)| -> i64 {
+        (a.0 as i64 - b.0 as i64).abs() + (a.1 as i64 - b.1 as i64).abs()
+    };
+    let mut in_tree = vec![false; n];
+    let mut best_dist = vec![i64::MAX; n];
+    let mut best_parent = vec![0usize; n];
+    in_tree[0] = true;
+    for i in 1..n {
+        best_dist[i] = dist(terminals[0], terminals[i]);
+        best_parent[i] = 0;
+    }
+    let mut result = Vec::with_capacity(n - 1);
+    for _ in 1..n {
+        let mut pick = usize::MAX;
+        let mut pick_d = i64::MAX;
+        for i in 0..n {
+            if !in_tree[i] && best_dist[i] < pick_d {
+                pick = i;
+                pick_d = best_dist[i];
+            }
+        }
+        if pick == usize::MAX {
+            break;
+        }
+        in_tree[pick] = true;
+        result.push((best_parent[pick], pick));
+        for i in 0..n {
+            if !in_tree[i] {
+                let d = dist(terminals[pick], terminals[i]);
+                if d < best_dist[i] {
+                    best_dist[i] = d;
+                    best_parent[i] = pick;
+                }
+            }
+        }
+    }
+    result
+}
+
+/// The two L-shaped gcell paths between two cells.
+fn l_path(src: (usize, usize), dst: (usize, usize), horizontal_first: bool) -> Vec<(usize, usize)> {
+    let mut path = vec![src];
+    let mut cur = src;
+    let step_x = |cur: &mut (usize, usize), path: &mut Vec<(usize, usize)>| {
+        while cur.0 != dst.0 {
+            cur.0 = if dst.0 > cur.0 { cur.0 + 1 } else { cur.0 - 1 };
+            path.push(*cur);
+        }
+    };
+    let step_y = |cur: &mut (usize, usize), path: &mut Vec<(usize, usize)>| {
+        while cur.1 != dst.1 {
+            cur.1 = if dst.1 > cur.1 { cur.1 + 1 } else { cur.1 - 1 };
+            path.push(*cur);
+        }
+    };
+    if horizontal_first {
+        step_x(&mut cur, &mut path);
+        step_y(&mut cur, &mut path);
+    } else {
+        step_y(&mut cur, &mut path);
+        step_x(&mut cur, &mut path);
+    }
+    path
+}
+
+fn path_cost(path: &[(usize, usize)], edges: &EdgeMap, cfg: &GlobalConfig) -> f64 {
+    let mut cost = 0.0;
+    for w in path.windows(2) {
+        let (ax, ay) = w[0];
+        let (bx, by) = w[1];
+        cost += if ay == by {
+            edges.h_cost(ax.min(bx), ay, cfg)
+        } else {
+            edges.v_cost(ax, ay.min(by), cfg)
+        };
+    }
+    cost
+}
+
+/// Dijkstra on the gcell grid with congestion-aware edge costs.
+fn maze_route(
+    grid: &GCellGrid,
+    edges: &EdgeMap,
+    src: (usize, usize),
+    dst: (usize, usize),
+    cfg: &GlobalConfig,
+) -> Option<Vec<(usize, usize)>> {
+    let n = grid.len();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev = vec![usize::MAX; n];
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    let start = grid.index(src.0, src.1);
+    let goal = grid.index(dst.0, dst.1);
+    dist[start] = 0.0;
+    heap.push(Reverse((0, start)));
+    let key = |c: f64| (c * 1024.0) as u64;
+
+    while let Some(Reverse((_, u))) = heap.pop() {
+        if u == goal {
+            break;
+        }
+        let ux = u % grid.nx();
+        let uy = u / grid.nx();
+        let du = dist[u];
+        let push = |vx: usize, vy: usize, cost: f64, heap: &mut BinaryHeap<Reverse<(u64, usize)>>, dist: &mut Vec<f64>, prev: &mut Vec<usize>| {
+            let v = grid.index(vx, vy);
+            let nd = du + cost;
+            if nd < dist[v] {
+                dist[v] = nd;
+                prev[v] = u;
+                heap.push(Reverse((key(nd), v)));
+            }
+        };
+        if ux + 1 < grid.nx() {
+            push(ux + 1, uy, edges.h_cost(ux, uy, cfg), &mut heap, &mut dist, &mut prev);
+        }
+        if ux > 0 {
+            push(ux - 1, uy, edges.h_cost(ux - 1, uy, cfg), &mut heap, &mut dist, &mut prev);
+        }
+        if uy + 1 < grid.ny() {
+            push(ux, uy + 1, edges.v_cost(ux, uy, cfg), &mut heap, &mut dist, &mut prev);
+        }
+        if uy > 0 {
+            push(ux, uy - 1, edges.v_cost(ux, uy - 1, cfg), &mut heap, &mut dist, &mut prev);
+        }
+    }
+
+    if dist[goal].is_infinite() {
+        return None;
+    }
+    let mut path = Vec::new();
+    let mut cur = goal;
+    while cur != usize::MAX {
+        path.push((cur % grid.nx(), cur / grid.nx()));
+        if cur == start {
+            break;
+        }
+        cur = prev[cur];
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// Convenience: the centre of a pin's bounding box (used by tests).
+#[allow(dead_code)]
+fn pin_center(design: &Design, pin: tpl_design::PinId) -> Point {
+    design.pin(pin).bbox().map(|b| b.center()).unwrap_or(Point::ORIGIN)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpl_design::{DesignBuilder, Technology};
+    use tpl_geom::Rect;
+    use tpl_ispd::CaseParams;
+
+    #[test]
+    fn mst_connects_all_terminals() {
+        let terminals = vec![(0, 0), (5, 0), (5, 7), (1, 6), (9, 9)];
+        let mst = minimum_spanning_tree(&terminals);
+        assert_eq!(mst.len(), terminals.len() - 1);
+        // Union-find check that the tree spans everything.
+        let mut parent: Vec<usize> = (0..terminals.len()).collect();
+        fn find(p: &mut Vec<usize>, x: usize) -> usize {
+            if p[x] != x {
+                let r = find(p, p[x]);
+                p[x] = r;
+            }
+            p[x]
+        }
+        for (a, b) in mst {
+            let ra = find(&mut parent, a);
+            let rb = find(&mut parent, b);
+            parent[rb] = ra;
+        }
+        let root = find(&mut parent, 0);
+        for i in 0..terminals.len() {
+            assert_eq!(find(&mut parent, i), root);
+        }
+    }
+
+    #[test]
+    fn l_paths_have_manhattan_length() {
+        let p = l_path((1, 1), (4, 5), true);
+        assert_eq!(p.len(), 1 + 3 + 4);
+        assert_eq!(*p.first().unwrap(), (1, 1));
+        assert_eq!(*p.last().unwrap(), (4, 5));
+        let q = l_path((4, 5), (1, 1), false);
+        assert_eq!(q.len(), 8);
+        // Consecutive cells are always 4-adjacent.
+        for w in p.windows(2).chain(q.windows(2)) {
+            let d = (w[0].0 as i64 - w[1].0 as i64).abs() + (w[0].1 as i64 - w[1].1 as i64).abs();
+            assert_eq!(d, 1);
+        }
+    }
+
+    #[test]
+    fn guides_cover_every_pin_of_every_net() {
+        let design = CaseParams::ispd18_like(1).scaled(0.4).generate();
+        let router = GlobalRouter::new(GlobalConfig::default());
+        let guides = router.route(&design);
+        for net in design.nets() {
+            for pin in net.pins() {
+                let (layer, rect) = design.pin(*pin).shapes()[0];
+                assert!(
+                    guides.covers(net.id(), layer, &rect),
+                    "guide of {} misses pin {}",
+                    net.name(),
+                    design.pin(*pin).name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn congestion_negotiation_reduces_or_keeps_overflow() {
+        let design = CaseParams::ispd18_like(2).scaled(0.4).generate();
+        let no_nego = GlobalRouter::new(GlobalConfig {
+            negotiation_rounds: 0,
+            ..GlobalConfig::default()
+        });
+        let with_nego = GlobalRouter::new(GlobalConfig::default());
+        let (_, s0) = no_nego.route_with_stats(&design);
+        let (_, s1) = with_nego.route_with_stats(&design);
+        assert!(s1.overflowed_edges <= s0.overflowed_edges);
+    }
+
+    #[test]
+    fn two_pin_straight_nets_route_with_patterns() {
+        let mut b = DesignBuilder::new(
+            "straight",
+            Technology::ispd_like(3),
+            Rect::from_coords(0, 0, 800, 800),
+        );
+        let p0 = b.add_pin_shape("a", 0, Rect::from_coords(6, 6, 14, 14));
+        let p1 = b.add_pin_shape("b", 0, Rect::from_coords(706, 6, 714, 14));
+        b.add_net("n", vec![p0, p1]);
+        let d = b.build().unwrap();
+        let (guides, stats) = GlobalRouter::new(GlobalConfig::default()).route_with_stats(&d);
+        assert_eq!(stats.pattern_routed, 1);
+        assert_eq!(stats.maze_routed, 0);
+        assert!(guides.total_regions() > 0);
+    }
+
+    #[test]
+    fn maze_route_finds_shortest_path_on_empty_grid() {
+        let mut b = DesignBuilder::new(
+            "m",
+            Technology::ispd_like(3),
+            Rect::from_coords(0, 0, 1000, 1000),
+        );
+        let p0 = b.add_pin_shape("a", 0, Rect::from_coords(0, 0, 10, 10));
+        let p1 = b.add_pin_shape("b", 0, Rect::from_coords(900, 900, 910, 910));
+        b.add_net("n", vec![p0, p1]);
+        let d = b.build().unwrap();
+        let grid = GCellGrid::build(&d, 5);
+        let edges = EdgeMap::new(grid.nx(), grid.ny(), 10);
+        let path = maze_route(&grid, &edges, (0, 0), (5, 5), &GlobalConfig::default()).unwrap();
+        assert_eq!(path.len(), 11);
+        assert_eq!(path[0], (0, 0));
+        assert_eq!(*path.last().unwrap(), (5, 5));
+    }
+}

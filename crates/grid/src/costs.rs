@@ -1,0 +1,80 @@
+//! Shared cost-model parameters.
+
+use tpl_geom::Dbu;
+
+/// Parameters of the traditional (non-colour) part of the routing cost.
+///
+/// These correspond to `Cost_trad` in Eq. (1) of the paper and are shared by
+/// the TPL-unaware baseline, the DAC'12 baseline and Mr.TPL so that runtime
+/// and quality comparisons isolate the colour-handling strategy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostParams {
+    /// Cost per database unit of preferred-direction wire.
+    pub unit_wire: f64,
+    /// Multiplier applied to wrong-way (non-preferred axis) wire.
+    pub wrong_way_mult: f64,
+    /// Cost of one via.
+    pub via: f64,
+    /// Additional cost per database unit of wire outside the route guide.
+    pub out_of_guide: f64,
+    /// Cost of stepping onto a vertex already occupied by another net.
+    /// Kept finite so negotiation-based rip-up and reroute can resolve it.
+    pub occupied: f64,
+    /// Cost of stepping onto a blocked (obstacle) vertex.  Effectively
+    /// infinite.
+    pub blocked: f64,
+    /// Multiplier for accumulated history cost during negotiation.
+    pub history_weight: f64,
+    /// Extra multiplier applied to planar wire on the lowest layer (M1).
+    /// Real detailed routers keep M1 for pin access; through-routing on M1
+    /// runs straight past foreign pins and is the main source of
+    /// wire-to-pin colour conflicts, so it is discouraged.
+    pub base_layer_mult: f64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        Self {
+            unit_wire: 1.0,
+            wrong_way_mult: 2.0,
+            via: 40.0,
+            out_of_guide: 1.0,
+            occupied: 5_000.0,
+            blocked: 1.0e12,
+            history_weight: 1.0,
+            base_layer_mult: 4.0,
+        }
+    }
+}
+
+impl CostParams {
+    /// The cost of `len` database units of wire, preferred direction.
+    #[inline]
+    pub fn wire_cost(&self, len: Dbu) -> f64 {
+        self.unit_wire * len as f64
+    }
+
+    /// The cost of `len` database units of wrong-way wire.
+    #[inline]
+    pub fn wrong_way_cost(&self, len: Dbu) -> f64 {
+        self.unit_wire * self.wrong_way_mult * len as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrong_way_is_more_expensive() {
+        let p = CostParams::default();
+        assert!(p.wrong_way_cost(20) > p.wire_cost(20));
+        assert_eq!(p.wire_cost(20), 20.0);
+    }
+
+    #[test]
+    fn blocked_dwarfs_everything_else() {
+        let p = CostParams::default();
+        assert!(p.blocked > p.occupied * 1000.0);
+    }
+}

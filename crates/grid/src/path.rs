@@ -1,0 +1,167 @@
+//! Converting vertex paths into routed geometry.
+
+use crate::{GridGraph, VertexId};
+use tpl_design::{RouteSegment, RoutedNet, ViaInstance};
+use tpl_geom::Segment;
+
+/// Converts a sequence of grid-adjacent vertices into wire segments and vias.
+///
+/// Consecutive vertices must be grid neighbours (one planar step or one via
+/// apart); maximal straight runs on a layer are merged into single segments.
+/// The produced geometry is appended to `out`, so a multi-pin net routed as
+/// several pin-to-tree paths accumulates into one [`RoutedNet`].
+///
+/// # Panics
+///
+/// Panics if two consecutive vertices are not grid neighbours.
+pub fn path_to_routed_net(grid: &GridGraph, path: &[VertexId], out: &mut RoutedNet) {
+    if path.len() < 2 {
+        return;
+    }
+    let mut run_start = 0usize;
+    for i in 1..path.len() {
+        let prev = path[i - 1];
+        let curr = path[i];
+        let (pl, px, py) = grid.coords(prev);
+        let (cl, cx, cy) = grid.coords(curr);
+        let step_planar = pl == cl
+            && ((px as i64 - cx as i64).abs() + (py as i64 - cy as i64).abs() == 1);
+        let step_via = px == cx && py == cy && (pl as i64 - cl as i64).abs() == 1;
+        assert!(
+            step_planar || step_via,
+            "path vertices {prev} and {curr} are not adjacent"
+        );
+
+        if step_via {
+            // Flush the planar run ending at `prev`.
+            flush_run(grid, &path[run_start..i], out);
+            let lower = pl.min(cl);
+            out.vias.push(ViaInstance::new(
+                tpl_design::LayerId::from(lower),
+                grid.point_of(prev),
+            ));
+            run_start = i;
+        } else {
+            // Check whether the direction changed relative to the run, in
+            // which case the run is flushed up to `prev` and a new one starts
+            // there (the corner vertex belongs to both runs).
+            if i >= run_start + 2 {
+                let (_, sx, sy) = grid.coords(path[run_start]);
+                let same_row = sy == py && py == cy;
+                let same_col = sx == px && px == cx;
+                if !(same_row || same_col) {
+                    flush_run(grid, &path[run_start..i], out);
+                    run_start = i - 1;
+                }
+            }
+        }
+    }
+    flush_run(grid, &path[run_start..], out);
+}
+
+fn flush_run(grid: &GridGraph, run: &[VertexId], out: &mut RoutedNet) {
+    if run.len() < 2 {
+        return;
+    }
+    let first = run[0];
+    let last = run[run.len() - 1];
+    let layer = grid.layer_of(first);
+    debug_assert_eq!(layer, grid.layer_of(last));
+    let a = grid.point_of(first);
+    let b = grid.point_of(last);
+    if a == b {
+        return;
+    }
+    out.segments.push(RouteSegment::new(
+        layer,
+        Segment::new(a, b),
+        grid.wire_width(layer),
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpl_design::{DesignBuilder, Technology};
+    use tpl_geom::{Point, Rect};
+
+    fn grid() -> GridGraph {
+        let mut b = DesignBuilder::new(
+            "g",
+            Technology::ispd_like(3),
+            Rect::from_coords(0, 0, 300, 300),
+        );
+        let p0 = b.add_pin_shape("a", 0, Rect::from_coords(0, 0, 10, 10));
+        let p1 = b.add_pin_shape("b", 0, Rect::from_coords(200, 200, 210, 210));
+        b.add_net("n", vec![p0, p1]);
+        GridGraph::build(&b.build().unwrap())
+    }
+
+    #[test]
+    fn straight_run_becomes_one_segment() {
+        let g = grid();
+        let path: Vec<VertexId> = (0..5).map(|i| g.vertex(0, i, 3)).collect();
+        let mut rn = RoutedNet::new();
+        path_to_routed_net(&g, &path, &mut rn);
+        assert_eq!(rn.segments.len(), 1);
+        assert_eq!(rn.vias.len(), 0);
+        assert_eq!(rn.segments[0].seg, Segment::new(Point::new(10, 70), Point::new(90, 70)));
+        assert_eq!(rn.wirelength(), 80);
+    }
+
+    #[test]
+    fn corner_splits_into_two_segments() {
+        let g = grid();
+        let mut path: Vec<VertexId> = (0..4).map(|i| g.vertex(0, i, 0)).collect();
+        path.extend((1..3).map(|j| g.vertex(0, 3, j)));
+        let mut rn = RoutedNet::new();
+        path_to_routed_net(&g, &path, &mut rn);
+        assert_eq!(rn.segments.len(), 2);
+        assert_eq!(rn.wirelength(), 3 * 20 + 2 * 20);
+    }
+
+    #[test]
+    fn via_steps_produce_via_instances() {
+        let g = grid();
+        let path = vec![
+            g.vertex(0, 2, 2),
+            g.vertex(0, 3, 2),
+            g.vertex(1, 3, 2),
+            g.vertex(1, 3, 3),
+            g.vertex(1, 3, 4),
+        ];
+        let mut rn = RoutedNet::new();
+        path_to_routed_net(&g, &path, &mut rn);
+        assert_eq!(rn.vias.len(), 1);
+        assert_eq!(rn.vias[0].lower_layer.index(), 0);
+        assert_eq!(rn.segments.len(), 2);
+        assert_eq!(rn.wirelength(), 20 + 40);
+    }
+
+    #[test]
+    fn single_vertex_or_empty_paths_produce_nothing() {
+        let g = grid();
+        let mut rn = RoutedNet::new();
+        path_to_routed_net(&g, &[], &mut rn);
+        path_to_routed_net(&g, &[g.vertex(0, 0, 0)], &mut rn);
+        assert!(rn.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not adjacent")]
+    fn non_adjacent_vertices_panic() {
+        let g = grid();
+        let mut rn = RoutedNet::new();
+        path_to_routed_net(&g, &[g.vertex(0, 0, 0), g.vertex(0, 5, 5)], &mut rn);
+    }
+
+    #[test]
+    fn consecutive_vias_are_both_emitted() {
+        let g = grid();
+        let path = vec![g.vertex(0, 1, 1), g.vertex(1, 1, 1), g.vertex(2, 1, 1)];
+        let mut rn = RoutedNet::new();
+        path_to_routed_net(&g, &path, &mut rn);
+        assert_eq!(rn.vias.len(), 2);
+        assert!(rn.segments.is_empty());
+    }
+}

@@ -1,0 +1,36 @@
+//! Synthetic ISPD-2018/2019-like benchmark generator and cost scorer.
+//!
+//! The original paper evaluates on the ISPD 2018 and ISPD 2019 initial
+//! detailed routing contest benchmarks.  Those LEF/DEF files are not
+//! redistributable and are far larger than what a laptop-scale reproduction
+//! can route in minutes, so this crate provides *deterministic, seeded,
+//! synthetic* cases whose structural properties (die size, net count,
+//! multi-pin fraction, pin clustering, obstacle density) grow from `test1` to
+//! `test10` the same way the contest suites do.  See `DESIGN.md` for the
+//! substitution rationale.
+//!
+//! The crate also implements an ISPD-2018-style cost scorer
+//! ([`score_solution`]) used for the "cost" column of Table II.
+//!
+//! # Examples
+//!
+//! ```
+//! use tpl_ispd::CaseParams;
+//!
+//! let case = CaseParams::ispd18_like(1).scaled(0.25);
+//! let design = case.generate();
+//! assert!(design.nets().len() > 0);
+//! assert!(design.stats().multi_pin_nets > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod generator;
+mod params;
+mod score;
+mod suite;
+
+pub use generator::generate_design;
+pub use params::CaseParams;
+pub use score::{score_solution, CostBreakdown, ScoreWeights};
+pub use suite::{ispd18_suite, ispd19_suite};

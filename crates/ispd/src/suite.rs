@@ -1,0 +1,37 @@
+//! Convenience constructors for whole benchmark suites.
+
+use crate::CaseParams;
+
+/// The ten ISPD-2018-like cases, in order (`test1` .. `test10`).
+pub fn ispd18_suite() -> Vec<CaseParams> {
+    (1..=10).map(CaseParams::ispd18_like).collect()
+}
+
+/// The ten ISPD-2019-like cases, in order (`test1` .. `test10`).
+pub fn ispd19_suite() -> Vec<CaseParams> {
+    (1..=10).map(CaseParams::ispd19_like).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_have_ten_cases_each() {
+        assert_eq!(ispd18_suite().len(), 10);
+        assert_eq!(ispd19_suite().len(), 10);
+    }
+
+    #[test]
+    fn case_names_are_unique() {
+        let mut names: Vec<String> = ispd18_suite()
+            .into_iter()
+            .chain(ispd19_suite())
+            .map(|c| c.name)
+            .collect();
+        let before = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+}

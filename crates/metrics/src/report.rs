@@ -1,0 +1,89 @@
+//! Plain-text table rendering.
+
+/// One row of a rendered table.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TableRow {
+    /// The cells of the row, already formatted.
+    pub cells: Vec<String>,
+}
+
+impl TableRow {
+    /// Creates a row from anything stringly.
+    pub fn new<I, S>(cells: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        TableRow {
+            cells: cells.into_iter().map(Into::into).collect(),
+        }
+    }
+}
+
+/// Renders a header plus rows as an aligned plain-text table.
+///
+/// # Examples
+///
+/// ```
+/// use tpl_metrics::{format_table, TableRow};
+/// let text = format_table(
+///     &["case", "conflicts"],
+///     &[TableRow::new(["test1", "0"]), TableRow::new(["test2", "12"])],
+/// );
+/// assert!(text.contains("test2"));
+/// ```
+pub fn format_table(header: &[&str], rows: &[TableRow]) -> String {
+    let num_cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.cells.iter().enumerate().take(num_cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render = |cells: &[String], widths: &[usize], out: &mut String| {
+        for (i, w) in widths.iter().enumerate() {
+            let empty = String::new();
+            let cell = cells.get(i).unwrap_or(&empty);
+            out.push_str(&format!("{cell:>width$}  ", width = w));
+        }
+        out.push('\n');
+    };
+    let header_cells: Vec<String> = header.iter().map(|h| h.to_string()).collect();
+    render(&header_cells, &widths, &mut out);
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    render(&sep, &widths, &mut out);
+    for row in rows {
+        render(&row.cells, &widths, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_are_right_aligned_and_padded() {
+        let text = format_table(
+            &["case", "value"],
+            &[
+                TableRow::new(["a", "1"]),
+                TableRow::new(["long_case_name", "123456"]),
+            ],
+        );
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("case"));
+        assert!(lines[1].starts_with("-"));
+        // All lines have equal length (aligned columns).
+        let width = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == width));
+    }
+
+    #[test]
+    fn missing_cells_render_empty() {
+        let text = format_table(&["a", "b"], &[TableRow::new(["only"])]);
+        assert!(text.contains("only"));
+    }
+}

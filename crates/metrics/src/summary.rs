@@ -1,0 +1,172 @@
+//! Per-case records and suite-level summaries.
+
+/// The evaluation record of one benchmark case for one method.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CaseRecord {
+    /// Case name.
+    pub case: String,
+    /// Colour conflicts.
+    pub conflicts: usize,
+    /// Stitches.
+    pub stitches: usize,
+    /// ISPD-style routing cost.
+    pub cost: f64,
+    /// Wall-clock runtime in seconds.
+    pub runtime_seconds: f64,
+}
+
+/// Relative improvement of `ours` over `baseline`, in percent.
+///
+/// Matches the paper's convention: positive means `ours` is smaller (better).
+/// When the baseline is zero the improvement is reported as zero (the paper
+/// marks those entries "zero / no comparison").
+pub fn improvement_percent(baseline: f64, ours: f64) -> f64 {
+    if baseline == 0.0 {
+        0.0
+    } else {
+        (baseline - ours) / baseline * 100.0
+    }
+}
+
+/// Baseline/ours runtime ratio, guarding against a zero denominator.
+pub fn safe_speedup(baseline_seconds: f64, ours_seconds: f64) -> f64 {
+    if ours_seconds <= 0.0 {
+        0.0
+    } else {
+        baseline_seconds / ours_seconds
+    }
+}
+
+/// Aggregate of a whole suite: average improvements over all cases where the
+/// baseline has data, exactly like the `avg.` row of the paper's tables.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SuiteSummary {
+    /// Mean baseline conflicts.
+    pub baseline_conflicts: f64,
+    /// Mean conflicts of our method.
+    pub ours_conflicts: f64,
+    /// Mean conflict improvement in percent (over cases with a non-zero
+    /// baseline).
+    pub conflict_improvement: f64,
+    /// Mean baseline stitches.
+    pub baseline_stitches: f64,
+    /// Mean stitches of our method.
+    pub ours_stitches: f64,
+    /// Mean stitch improvement in percent.
+    pub stitch_improvement: f64,
+    /// Mean cost improvement in percent.
+    pub cost_improvement: f64,
+    /// Mean speedup (baseline runtime / ours).
+    pub speedup: f64,
+}
+
+impl SuiteSummary {
+    /// Builds the summary from paired per-case records (same order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two slices have different lengths.
+    pub fn from_records(baseline: &[CaseRecord], ours: &[CaseRecord]) -> SuiteSummary {
+        assert_eq!(baseline.len(), ours.len(), "paired records required");
+        let n = baseline.len().max(1) as f64;
+        let mean = |f: &dyn Fn(&CaseRecord) -> f64, records: &[CaseRecord]| {
+            records.iter().map(|r| f(r)).sum::<f64>() / n
+        };
+        let avg_improvement = |f: &dyn Fn(&CaseRecord) -> f64| {
+            let pairs: Vec<(f64, f64)> = baseline
+                .iter()
+                .zip(ours.iter())
+                .map(|(b, o)| (f(b), f(o)))
+                .filter(|(b, _)| *b > 0.0)
+                .collect();
+            if pairs.is_empty() {
+                0.0
+            } else {
+                pairs
+                    .iter()
+                    .map(|(b, o)| improvement_percent(*b, *o))
+                    .sum::<f64>()
+                    / pairs.len() as f64
+            }
+        };
+        let avg_speedup = {
+            let pairs: Vec<f64> = baseline
+                .iter()
+                .zip(ours.iter())
+                .filter(|(b, o)| b.runtime_seconds > 0.0 && o.runtime_seconds > 0.0)
+                .map(|(b, o)| safe_speedup(b.runtime_seconds, o.runtime_seconds))
+                .collect();
+            if pairs.is_empty() {
+                0.0
+            } else {
+                pairs.iter().sum::<f64>() / pairs.len() as f64
+            }
+        };
+        SuiteSummary {
+            baseline_conflicts: mean(&|r| r.conflicts as f64, baseline),
+            ours_conflicts: mean(&|r| r.conflicts as f64, ours),
+            conflict_improvement: avg_improvement(&|r| r.conflicts as f64),
+            baseline_stitches: mean(&|r| r.stitches as f64, baseline),
+            ours_stitches: mean(&|r| r.stitches as f64, ours),
+            stitch_improvement: avg_improvement(&|r| r.stitches as f64),
+            cost_improvement: avg_improvement(&|r| r.cost),
+            speedup: avg_speedup,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(case: &str, conflicts: usize, stitches: usize, cost: f64, rt: f64) -> CaseRecord {
+        CaseRecord {
+            case: case.into(),
+            conflicts,
+            stitches,
+            cost,
+            runtime_seconds: rt,
+        }
+    }
+
+    #[test]
+    fn improvement_follows_paper_convention() {
+        assert_eq!(improvement_percent(100.0, 20.0), 80.0);
+        assert_eq!(improvement_percent(0.0, 5.0), 0.0);
+        assert_eq!(improvement_percent(50.0, 50.0), 0.0);
+        assert!(improvement_percent(10.0, 20.0) < 0.0);
+    }
+
+    #[test]
+    fn speedup_guards_zero_division() {
+        assert_eq!(safe_speedup(10.0, 2.0), 5.0);
+        assert_eq!(safe_speedup(10.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn suite_summary_averages_match_hand_computation() {
+        let baseline = vec![
+            rec("t1", 10, 100, 1000.0, 10.0),
+            rec("t2", 0, 50, 2000.0, 20.0),
+        ];
+        let ours = vec![
+            rec("t1", 5, 25, 900.0, 2.0),
+            rec("t2", 0, 10, 1900.0, 4.0),
+        ];
+        let s = SuiteSummary::from_records(&baseline, &ours);
+        assert_eq!(s.baseline_conflicts, 5.0);
+        assert_eq!(s.ours_conflicts, 2.5);
+        // Only t1 has a non-zero conflict baseline: 50% improvement.
+        assert_eq!(s.conflict_improvement, 50.0);
+        // Stitches: (75% + 80%) / 2.
+        assert!((s.stitch_improvement - 77.5).abs() < 1e-9);
+        assert_eq!(s.speedup, 5.0);
+        assert!(s.cost_improvement > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "paired records")]
+    fn summary_requires_paired_records() {
+        SuiteSummary::from_records(&[], &[rec("x", 0, 0, 0.0, 0.0)]);
+    }
+}

@@ -1,0 +1,55 @@
+//! Compare Mr.TPL against the DAC'12 TPL-aware baseline on one case.
+//!
+//! ```bash
+//! cargo run --release --example compare_methods [case-index] [scale]
+//! ```
+//!
+//! Prints conflicts, stitches, ISPD cost and runtime for both routers — one
+//! row of Table II of the paper.
+
+use mr_tpl::dac12::{Dac12Config, Dac12Router};
+use mr_tpl::ispd::{score_solution, ScoreWeights};
+use mr_tpl::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let case_idx: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(1);
+    let scale: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1.0);
+
+    let params = if (scale - 1.0).abs() < f64::EPSILON {
+        CaseParams::ispd18_like(case_idx)
+    } else {
+        CaseParams::ispd18_like(case_idx).scaled(scale)
+    };
+    let design = params.generate();
+    let guides = GlobalRouter::new(GlobalConfig::default()).route(&design);
+    let weights = ScoreWeights::default();
+
+    println!("case {} ({} nets)", design.name(), design.nets().len());
+
+    let dac = Dac12Router::new(Dac12Config::default()).route(&design, &guides);
+    let dac_cost = score_solution(&design, &guides, &dac.solution, &weights);
+    println!(
+        "DAC'12 baseline : conflicts {:5}  stitches {:5}  cost {:.4e}  runtime {:.2}s",
+        dac.stats.conflicts,
+        dac.stats.stitches,
+        dac_cost.total(),
+        dac.stats.runtime_seconds
+    );
+
+    let ours = MrTplRouter::new(MrTplConfig::default()).route(&design, &guides);
+    let ours_cost = score_solution(&design, &guides, &ours.solution, &weights);
+    println!(
+        "Mr.TPL          : conflicts {:5}  stitches {:5}  cost {:.4e}  runtime {:.2}s",
+        ours.stats.conflicts,
+        ours.stats.stitches,
+        ours_cost.total(),
+        ours.stats.runtime_seconds
+    );
+    if ours.stats.runtime_seconds > 0.0 {
+        println!(
+            "speedup         : {:.2}x",
+            dac.stats.runtime_seconds / ours.stats.runtime_seconds
+        );
+    }
+}

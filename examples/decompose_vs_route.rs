@@ -1,0 +1,43 @@
+//! Route-then-decompose vs colour-aware routing on one ISPD-2019-like case —
+//! one row of Table III of the paper.
+//!
+//! ```bash
+//! cargo run --release --example decompose_vs_route [case-index] [scale]
+//! ```
+
+use mr_tpl::decompose::{DecomposeConfig, Decomposer};
+use mr_tpl::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let case_idx: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(1);
+    let scale: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1.0);
+
+    let params = if (scale - 1.0).abs() < f64::EPSILON {
+        CaseParams::ispd19_like(case_idx)
+    } else {
+        CaseParams::ispd19_like(case_idx).scaled(scale)
+    };
+    let design = params.generate();
+    let guides = GlobalRouter::new(GlobalConfig::default()).route(&design);
+
+    println!("case {} ({} nets)", design.name(), design.nets().len());
+
+    // Baseline: colour-blind routing followed by layout decomposition.
+    let routed = DrCuRouter::new(DrCuConfig::default()).route(&design, &guides);
+    let decomposed = Decomposer::new(DecomposeConfig::default()).decompose(&design, &routed.solution);
+    println!(
+        "route-then-decompose: conflicts {:5}  stitches {:5}  ({} features, {} graph edges)",
+        decomposed.stats.conflicts,
+        decomposed.stats.stitches,
+        decomposed.stats.features,
+        decomposed.stats.edges
+    );
+
+    // Mr.TPL: colours are decided during routing.
+    let ours = MrTplRouter::new(MrTplConfig::default()).route(&design, &guides);
+    println!(
+        "Mr.TPL              : conflicts {:5}  stitches {:5}",
+        ours.stats.conflicts, ours.stats.stitches
+    );
+}

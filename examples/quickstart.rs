@@ -1,0 +1,57 @@
+//! Quickstart: generate a benchmark, run global routing, run Mr.TPL, print
+//! the headline metrics.
+//!
+//! ```bash
+//! cargo run --release --example quickstart [case-index] [scale]
+//! ```
+
+use mr_tpl::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let case_idx: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(1);
+    let scale: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1.0);
+
+    // 1. Generate a synthetic ISPD-2018-like benchmark case.
+    let params = if (scale - 1.0).abs() < f64::EPSILON {
+        CaseParams::ispd18_like(case_idx)
+    } else {
+        CaseParams::ispd18_like(case_idx).scaled(scale)
+    };
+    let design = params.generate();
+    let stats = design.stats();
+    println!("case            : {}", design.name());
+    println!(
+        "die             : {} x {} dbu, {} layers",
+        design.die().width(),
+        design.die().height(),
+        stats.num_layers
+    );
+    println!(
+        "nets            : {} ({} multi-pin, max {} pins)",
+        stats.num_nets, stats.multi_pin_nets, stats.max_pins_per_net
+    );
+
+    // 2. Global routing produces route guides.
+    let t0 = Instant::now();
+    let guides = GlobalRouter::new(GlobalConfig::default()).route(&design);
+    println!(
+        "global routing  : {} guide regions in {:.2}s",
+        guides.total_regions(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    // 3. Mr.TPL: triple-patterning-aware detailed routing of multi-pin nets.
+    let t1 = Instant::now();
+    let result = MrTplRouter::new(MrTplConfig::default()).route(&design, &guides);
+    let elapsed = t1.elapsed().as_secs_f64();
+
+    println!("detailed routing: {:.2}s", elapsed);
+    println!("wirelength      : {}", result.solution.total_wirelength());
+    println!("vias            : {}", result.solution.total_vias());
+    println!("color conflicts : {}", result.stats.conflicts);
+    println!("stitches        : {}", result.stats.stitches);
+    println!("failed nets     : {}", result.stats.failed_nets);
+    println!("rrr iterations  : {}", result.stats.rrr_iterations);
+}

@@ -1,0 +1,51 @@
+//! Workspace-level property tests: invariants that must hold for any
+//! generated benchmark, not just the curated ones.
+
+use mr_tpl::prelude::*;
+use proptest::prelude::*;
+use tpl_ispd::CaseParams;
+
+fn arb_case() -> impl Strategy<Value = CaseParams> {
+    (1usize..=3, any::<u16>()).prop_map(|(idx, salt)| {
+        let mut params = CaseParams::ispd18_like(idx).scaled(0.35);
+        params.seed = params.seed.wrapping_add(salt as u64);
+        params
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Whatever the seed, Mr.TPL routes every net, connects every pin, and
+    /// assigns a mask to every emitted wire segment.
+    #[test]
+    fn mrtpl_invariants_hold_for_random_benchmarks(params in arb_case()) {
+        let design = params.generate();
+        let guides = GlobalRouter::new(GlobalConfig::default()).route(&design);
+        let result = MrTplRouter::new(MrTplConfig::default()).route(&design, &guides);
+        prop_assert_eq!(result.solution.routed_count(), design.nets().len());
+        for net in design.nets() {
+            let routed = result.solution.get(net.id()).unwrap();
+            prop_assert!(routed.connects_all_pins(&design, net.id()));
+            let masks = &result.segment_masks[net.id().index()];
+            prop_assert_eq!(masks.len(), routed.segments.len());
+            prop_assert!(masks.iter().all(|m| m.is_some()));
+        }
+        // Stitches and conflicts are consistent with the reported layout.
+        prop_assert_eq!(result.layout.count_conflicts(), result.stats.conflicts);
+        prop_assert_eq!(result.layout.count_stitches(), result.stats.stitches);
+    }
+
+    /// Guides always cover every pin of every net, whatever the seed.
+    #[test]
+    fn guides_cover_pins_for_random_benchmarks(params in arb_case()) {
+        let design = params.generate();
+        let guides = GlobalRouter::new(GlobalConfig::default()).route(&design);
+        for net in design.nets() {
+            for pin in net.pins() {
+                let (layer, rect) = design.pin(*pin).shapes()[0];
+                prop_assert!(guides.covers(net.id(), layer, &rect));
+            }
+        }
+    }
+}
