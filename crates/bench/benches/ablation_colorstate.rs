@@ -21,9 +21,11 @@ fn ablation_colorstate(c: &mut Criterion) {
             policy: SearchPolicy::GreedySingleColor,
             ..MrTplConfig::default()
         };
-        group.bench_with_input(BenchmarkId::new("greedy_single_color", idx), &idx, |b, _| {
-            b.iter(|| run_mrtpl(&design, &guides, &greedy).0)
-        });
+        group.bench_with_input(
+            BenchmarkId::new("greedy_single_color", idx),
+            &idx,
+            |b, _| b.iter(|| run_mrtpl(&design, &guides, &greedy).0),
+        );
     }
     group.finish();
 }

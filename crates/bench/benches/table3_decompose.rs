@@ -18,17 +18,21 @@ fn table3_decompose(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("mrtpl", idx), &idx, |b, _| {
             b.iter(|| run_mrtpl(&design, &guides, &MrTplConfig::default()).0)
         });
-        group.bench_with_input(BenchmarkId::new("route_then_decompose", idx), &idx, |b, _| {
-            b.iter(|| {
-                run_decompose(
-                    &design,
-                    &guides,
-                    &DrCuConfig::default(),
-                    &DecomposeConfig::default(),
-                )
-                .0
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("route_then_decompose", idx),
+            &idx,
+            |b, _| {
+                b.iter(|| {
+                    run_decompose(
+                        &design,
+                        &guides,
+                        &DrCuConfig::default(),
+                        &DecomposeConfig::default(),
+                    )
+                    .0
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -220,14 +220,26 @@ mod tests {
             Some(Mask::Green),
         ));
         // Query as net 2 near the two wires.
-        let p = m.mask_pressure(NetId::new(2), LayerId::new(1), &Rect::from_coords(100, 140, 200, 148));
+        let p = m.mask_pressure(
+            NetId::new(2),
+            LayerId::new(1),
+            &Rect::from_coords(100, 140, 200, 148),
+        );
         // The green wire is 12 dbu away (< 45); the red one is 32 away (< 45).
         assert_eq!(p, [1, 1, 0]);
         // Far away there is no pressure.
-        let p = m.mask_pressure(NetId::new(2), LayerId::new(1), &Rect::from_coords(600, 600, 700, 608));
+        let p = m.mask_pressure(
+            NetId::new(2),
+            LayerId::new(1),
+            &Rect::from_coords(600, 600, 700, 608),
+        );
         assert_eq!(p, [0, 0, 0]);
         // On a different layer there is no pressure either.
-        let p = m.mask_pressure(NetId::new(2), LayerId::new(2), &Rect::from_coords(100, 140, 200, 148));
+        let p = m.mask_pressure(
+            NetId::new(2),
+            LayerId::new(2),
+            &Rect::from_coords(100, 140, 200, 148),
+        );
         assert_eq!(p, [0, 0, 0]);
     }
 
@@ -240,7 +252,11 @@ mod tests {
             Rect::from_coords(0, 0, 100, 8),
             Some(Mask::Blue),
         ));
-        let p = m.mask_pressure(NetId::new(0), LayerId::new(0), &Rect::from_coords(0, 20, 100, 28));
+        let p = m.mask_pressure(
+            NetId::new(0),
+            LayerId::new(0),
+            &Rect::from_coords(0, 20, 100, 28),
+        );
         assert_eq!(p, [0, 0, 0]);
     }
 
@@ -253,7 +269,11 @@ mod tests {
             Rect::from_coords(0, 0, 10, 10),
             None,
         ));
-        let p = m.mask_pressure(NetId::new(1), LayerId::new(0), &Rect::from_coords(0, 20, 10, 30));
+        let p = m.mask_pressure(
+            NetId::new(1),
+            LayerId::new(0),
+            &Rect::from_coords(0, 20, 10, 30),
+        );
         assert_eq!(p, [0, 0, 0]);
     }
 
@@ -275,7 +295,11 @@ mod tests {
         assert_eq!(m.len(), 2);
         assert_eq!(m.remove_net(NetId::new(3)), 1);
         assert_eq!(m.len(), 1);
-        let p = m.mask_pressure(NetId::new(9), LayerId::new(0), &Rect::from_coords(0, 10, 100, 18));
+        let p = m.mask_pressure(
+            NetId::new(9),
+            LayerId::new(0),
+            &Rect::from_coords(0, 10, 100, 18),
+        );
         assert_eq!(p, [0, 1, 0]);
     }
 
@@ -289,10 +313,18 @@ mod tests {
             Some(Mask::Red),
         ));
         // Spacing exactly dcolor (45) is legal: rule is `< dcolor`.
-        let p = m.mask_pressure(NetId::new(1), LayerId::new(0), &Rect::from_coords(0, 55, 100, 65));
+        let p = m.mask_pressure(
+            NetId::new(1),
+            LayerId::new(0),
+            &Rect::from_coords(0, 55, 100, 65),
+        );
         assert_eq!(p, [0, 0, 0]);
         // One dbu closer violates.
-        let p = m.mask_pressure(NetId::new(1), LayerId::new(0), &Rect::from_coords(0, 54, 100, 64));
+        let p = m.mask_pressure(
+            NetId::new(1),
+            LayerId::new(0),
+            &Rect::from_coords(0, 54, 100, 64),
+        );
         assert_eq!(p, [1, 0, 0]);
     }
 

@@ -142,8 +142,7 @@ impl ColoredLayout {
                 if net_i == net_j || mask_i != mask_j {
                     continue;
                 }
-                let both_pins =
-                    f.kind == FeatureKind::Pin && g.kind == FeatureKind::Pin;
+                let both_pins = f.kind == FeatureKind::Pin && g.kind == FeatureKind::Pin;
                 if both_pins != include_pin_pairs {
                     continue;
                 }

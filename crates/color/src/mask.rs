@@ -72,7 +72,10 @@ mod tests {
             assert_eq!(m.index(), i);
             assert_eq!(Mask::from_index(i), *m);
         }
-        assert_eq!(Mask::Red.bit() | Mask::Green.bit() | Mask::Blue.bit(), 0b111);
+        assert_eq!(
+            Mask::Red.bit() | Mask::Green.bit() | Mask::Blue.bit(),
+            0b111
+        );
     }
 
     #[test]

@@ -186,7 +186,10 @@ mod tests {
             Some(ColorState::from_mask(Mask::Blue))
         );
         // Disjoint narrowing is rejected and does not modify the state.
-        assert_eq!(a.narrow_seg_state(seg, ColorState::from_mask(Mask::Red)), None);
+        assert_eq!(
+            a.narrow_seg_state(seg, ColorState::from_mask(Mask::Red)),
+            None
+        );
         assert_eq!(a.seg_state(seg), ColorState::from_mask(Mask::Blue));
     }
 

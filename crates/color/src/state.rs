@@ -157,15 +157,21 @@ mod tests {
         assert_eq!(ColorState::from_mask(Mask::Green).to_string(), "010");
         assert_eq!(ColorState::from_mask(Mask::Blue).to_string(), "001");
         assert_eq!(
-            ColorState::from_mask(Mask::Red).with(Mask::Green).to_string(),
+            ColorState::from_mask(Mask::Red)
+                .with(Mask::Green)
+                .to_string(),
             "110"
         );
         assert_eq!(
-            ColorState::from_mask(Mask::Red).with(Mask::Blue).to_string(),
+            ColorState::from_mask(Mask::Red)
+                .with(Mask::Blue)
+                .to_string(),
             "101"
         );
         assert_eq!(
-            ColorState::from_mask(Mask::Green).with(Mask::Blue).to_string(),
+            ColorState::from_mask(Mask::Green)
+                .with(Mask::Blue)
+                .to_string(),
             "011"
         );
         assert_eq!(ColorState::all().to_string(), "111");

@@ -144,7 +144,9 @@ pub fn assign_and_emit(
                 } else {
                     let best = Mask::ALL
                         .into_iter()
-                        .min_by_key(|m| (pressure[m.index()], (*m != preferred) as usize, m.index()))
+                        .min_by_key(|m| {
+                            (pressure[m.index()], (*m != preferred) as usize, m.index())
+                        })
                         .expect("three masks");
                     Some(best)
                 }
@@ -277,7 +279,7 @@ mod tests {
             &mut cache,
             &map,
             NetId::new(0),
-            &[path.clone()],
+            std::slice::from_ref(&path),
         );
         assert_eq!(colored.routed.segments.len(), 1);
         assert_eq!(colored.segment_masks.len(), 1);
@@ -322,7 +324,7 @@ mod tests {
             &mut cache,
             &map,
             NetId::new(0),
-            &[path.clone()],
+            std::slice::from_ref(&path),
         );
         assert_eq!(colored.routed.segments.len(), 2);
         assert_eq!(colored.seg_sets, 2);
@@ -372,8 +374,7 @@ mod tests {
         assert_eq!(colored.routed.wirelength(), (4 + 3) * 20);
         // Single segSet: no stitch despite the bend.
         assert_eq!(colored.seg_sets, 1);
-        let unique: std::collections::HashSet<_> =
-            colored.segment_masks.iter().flatten().collect();
+        let unique: std::collections::HashSet<_> = colored.segment_masks.iter().flatten().collect();
         assert_eq!(unique.len(), 1);
     }
 

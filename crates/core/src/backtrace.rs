@@ -144,7 +144,10 @@ mod tests {
         let seg_head = arena.seg_of(buffers.ver_set(vertices[0]).unwrap());
         let seg_tail = arena.seg_of(buffers.ver_set(vertices[3]).unwrap());
         assert_ne!(seg_head, seg_tail);
-        assert_eq!(arena.seg_state(seg_head), ColorState::from_mask(Mask::Green));
+        assert_eq!(
+            arena.seg_state(seg_head),
+            ColorState::from_mask(Mask::Green)
+        );
         assert_eq!(arena.seg_state(seg_tail), ColorState::from_mask(Mask::Red));
         // Exactly the two vertices on each side of the boundary disagree.
         assert_eq!(

@@ -111,7 +111,12 @@ mod tests {
         let p = cache.pressure(&grid, &map, NetId::new(0), v_far);
         assert_eq!(p, [0, 0, 0]);
         // The owning net itself feels no pressure from its own wire.
-        let p = cache.pressure(&grid, &map, NetId::new(5), grid.vertex(0, 7, grid.iy_near(130)));
+        let p = cache.pressure(
+            &grid,
+            &map,
+            NetId::new(5),
+            grid.vertex(0, 7, grid.iy_near(130)),
+        );
         assert_eq!(p, [0, 0, 0]);
     }
 

@@ -13,7 +13,7 @@
 //! 2. **Backtrace** ([`backtrace`], Algorithm 3): walks predecessors from the
 //!    reached pin, grouping vertices into verSets and segSets; states are
 //!    intersected along the path, and a stitch is exactly a segSet boundary.
-//! 3. **Mask assignment** ([`assign`]): every segSet commits to the candidate
+//! 3. **Mask assignment** (the `assign` module): every segSet commits to the candidate
 //!    mask with the lowest conflict pressure; wire geometry is emitted with
 //!    one mask per segment.
 //! 4. **Rip-up and reroute**: remaining colour conflicts bump history costs

@@ -65,7 +65,10 @@ impl MrTplRouter {
         let mut order: Vec<NetId> = design.nets().iter().map(|n| n.id()).collect();
         order.sort_by_key(|id| {
             (
-                design.net_bbox(*id).map(|b| b.half_perimeter()).unwrap_or(0),
+                design
+                    .net_bbox(*id)
+                    .map(|b| b.half_perimeter())
+                    .unwrap_or(0),
                 id.index(),
             )
         });
@@ -83,7 +86,14 @@ impl MrTplRouter {
                 net_vertices[net_id.index()].clear();
 
                 let (colored, vertices, complete) = self.route_net(
-                    design, &grid, &coverage, &gstate, &mut buffers, &mut cache, &map, guides,
+                    design,
+                    &grid,
+                    &coverage,
+                    &gstate,
+                    &mut buffers,
+                    &mut cache,
+                    &map,
+                    guides,
                     net_id,
                 );
                 if !complete {
@@ -275,9 +285,8 @@ impl MrTplRouter {
                     unreached.retain(|p| *p != pin);
                     // Pins whose covered vertices were swallowed by the path
                     // are also connected.
-                    unreached.retain(|p| {
-                        !coverage.vertices(*p).iter().any(|v| tree_set.contains(v))
-                    });
+                    unreached
+                        .retain(|p| !coverage.vertices(*p).iter().any(|v| tree_set.contains(v)));
                 }
                 None => {
                     complete = false;
@@ -335,7 +344,10 @@ mod tests {
     #[test]
     fn small_cases_finish_with_no_conflicts() {
         let (_, result) = route_case(0.3);
-        assert_eq!(result.stats.conflicts, 0, "tiny case should be conflict free");
+        assert_eq!(
+            result.stats.conflicts, 0,
+            "tiny case should be conflict free"
+        );
     }
 
     #[test]

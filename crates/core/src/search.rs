@@ -302,7 +302,11 @@ mod tests {
         let grid = GridGraph::build(&design);
         let gstate = GridState::new(&grid, &design);
         let coverage = PinCoverage::build(&grid, &design);
-        let map = ColorMap::new(design.die(), design.tech().num_layers(), design.tech().dcolor());
+        let map = ColorMap::new(
+            design.die(),
+            design.tech().num_layers(),
+            design.tech().dcolor(),
+        );
         Fixture {
             design,
             grid,
@@ -341,8 +345,8 @@ mod tests {
             .iter()
             .map(|v| (*v, ColorState::all()))
             .collect();
-        let (dst, pin) = search(&c, &mut buffers, &mut cache, &sources, &[PinId::new(1)])
-            .expect("path exists");
+        let (dst, pin) =
+            search(&c, &mut buffers, &mut cache, &sources, &[PinId::new(1)]).expect("path exists");
         assert_eq!(pin, PinId::new(1));
         // On an empty die nothing constrains the colours: the destination
         // keeps all three candidates alive.
@@ -382,8 +386,8 @@ mod tests {
             .iter()
             .map(|v| (*v, ColorState::all()))
             .collect();
-        let (dst, _) = search(&c, &mut buffers, &mut cache, &sources, &[PinId::new(1)])
-            .expect("path exists");
+        let (dst, _) =
+            search(&c, &mut buffers, &mut cache, &sources, &[PinId::new(1)]).expect("path exists");
         // The straight path on layer 0 runs within dcolor of the red wire,
         // so red is no longer among the minimum-cost candidates at the
         // destination.
@@ -409,8 +413,8 @@ mod tests {
             .iter()
             .map(|v| (*v, ColorState::all()))
             .collect();
-        let (dst, _) = search(&c, &mut buffers, &mut cache, &sources, &[PinId::new(1)])
-            .expect("path exists");
+        let (dst, _) =
+            search(&c, &mut buffers, &mut cache, &sources, &[PinId::new(1)]).expect("path exists");
         assert_eq!(buffers.state(dst).len(), 1);
     }
 

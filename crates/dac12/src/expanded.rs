@@ -58,11 +58,7 @@ impl ExpandedGraph {
     pub fn unpack(&self, node: usize) -> (VertexId, Mask, usize) {
         let v = node / Self::SLOTS;
         let rem = node % Self::SLOTS;
-        (
-            VertexId::new(v as u32),
-            Mask::from_index(rem / 4),
-            rem % 4,
-        )
+        (VertexId::new(v as u32), Mask::from_index(rem / 4), rem % 4)
     }
 }
 

@@ -190,7 +190,10 @@ impl Dac12Router {
         let mut order: Vec<NetId> = design.nets().iter().map(|n| n.id()).collect();
         order.sort_by_key(|id| {
             (
-                design.net_bbox(*id).map(|b| b.half_perimeter()).unwrap_or(0),
+                design
+                    .net_bbox(*id)
+                    .map(|b| b.half_perimeter())
+                    .unwrap_or(0),
                 id.index(),
             )
         });
@@ -335,8 +338,18 @@ impl Dac12Router {
             let (pin_a, _) = centers[a];
             let (pin_b, _) = centers[b];
             match self.route_two_pin(
-                design, grid, expanded, coverage, gstate, map, buffers, pressure_cache, &in_guide,
-                net_id, pin_a, pin_b,
+                design,
+                grid,
+                expanded,
+                coverage,
+                gstate,
+                map,
+                buffers,
+                pressure_cache,
+                &in_guide,
+                net_id,
+                pin_a,
+                pin_b,
             ) {
                 Some(path) => {
                     // Commit this connection immediately: later connections of
@@ -481,8 +494,8 @@ impl Dac12Router {
                 };
                 let pressure = pressure_cache.pressure(grid, map, net_id, n);
                 for next_mask in Mask::ALL {
-                    let mut step = trad
-                        + self.config.color_conflict_cost * pressure[next_mask.index()] as f64;
+                    let mut step =
+                        trad + self.config.color_conflict_cost * pressure[next_mask.index()] as f64;
                     if dir.is_planar() && next_mask != mask {
                         step += self.config.stitch_cost;
                     }

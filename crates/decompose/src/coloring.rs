@@ -135,7 +135,13 @@ fn pick_mask(
     }
     Mask::ALL
         .into_iter()
-        .min_by_key(|m| (conflict_count[m.index()], stitch_count[m.index()], m.index()))
+        .min_by_key(|m| {
+            (
+                conflict_count[m.index()],
+                stitch_count[m.index()],
+                m.index(),
+            )
+        })
         .expect("three masks")
 }
 
@@ -189,6 +195,7 @@ fn color_component_exact(
         cost
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn recurse(
         graph: &ConflictGraph,
         members: &[usize],
@@ -329,7 +336,12 @@ mod tests {
     fn exact_and_greedy_agree_on_easy_components() {
         let d = design();
         let nodes: Vec<FeatureNode> = (0..6)
-            .map(|i| wire(i, Rect::from_coords(0, 20 * i as i64, 400, 20 * i as i64 + 8)))
+            .map(|i| {
+                wire(
+                    i,
+                    Rect::from_coords(0, 20 * i as i64, 400, 20 * i as i64 + 8),
+                )
+            })
             .collect();
         let graph = ConflictGraph::build(&d, &nodes);
         let exact = color_graph(

@@ -36,7 +36,11 @@ pub fn extract_features(
         for seg in &routed.segments {
             let rect = seg.rect();
             let horizontal = rect.width() >= rect.height();
-            let length = if horizontal { rect.width() } else { rect.height() };
+            let length = if horizontal {
+                rect.width()
+            } else {
+                rect.height()
+            };
             let chunks = ((length + chunk_len - 1) / chunk_len).max(1);
             for k in 0..chunks {
                 let lo = k * chunk_len;

@@ -144,7 +144,13 @@ mod tests {
         // Four parallel wires on adjacent tracks: with dcolor = 45 every pair
         // within two tracks conflicts, so vertex 1 has degree 3.
         let nodes: Vec<FeatureNode> = (0..4)
-            .map(|i| wire(i, 0, Rect::from_coords(0, 20 * i as i64, 400, 20 * i as i64 + 8)))
+            .map(|i| {
+                wire(
+                    i,
+                    0,
+                    Rect::from_coords(0, 20 * i as i64, 400, 20 * i as i64 + 8),
+                )
+            })
             .collect();
         let g = ConflictGraph::build(&d, &nodes);
         assert_eq!(g.degree(1), 3);

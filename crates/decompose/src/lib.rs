@@ -4,15 +4,15 @@
 //! colours an *already routed* layout after the fact:
 //!
 //! 1. **Feature extraction** — routed wires are cut into stitch-candidate
-//!    chunks, pins are kept whole ([`features`]).
+//!    chunks, pins are kept whole (the `features` module).
 //! 2. **Conflict-graph construction** — features of different nets on the
-//!    same layer closer than `Dcolor` become adjacent ([`graph`]).
+//!    same layer closer than `Dcolor` become adjacent (the `graph` module).
 //! 3. **Graph simplification** — vertices with fewer than three neighbours
 //!    are peeled off (they can always be coloured last) and the residual
 //!    graph splits into independent components.
 //! 4. **Colouring** — small cores are coloured exactly by backtracking, large
 //!    ones greedily; peeled vertices are re-inserted in reverse order
-//!    ([`coloring`]).
+//!    (the `coloring` module).
 //!
 //! Because the wire geometry is fixed before any colour is known, dense
 //! regions routinely contain structures that no 3-colouring can legalise;
@@ -163,7 +163,8 @@ mod tests {
         let design = CaseParams::ispd19_like(1).scaled(0.35).generate();
         let guides = GlobalRouter::new(GlobalConfig::default()).route(&design);
         let routed = DrCuRouter::new(DrCuConfig::default()).route(&design, &guides);
-        let result = Decomposer::new(DecomposeConfig::default()).decompose(&design, &routed.solution);
+        let result =
+            Decomposer::new(DecomposeConfig::default()).decompose(&design, &routed.solution);
         assert_eq!(result.stats.uncolored_features, 0);
         assert!(result.stats.features > 0);
         assert!(result.stats.edges > 0);

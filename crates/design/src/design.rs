@@ -1,8 +1,6 @@
 //! The top-level design container and its builder.
 
-use crate::{
-    DesignError, LayerId, Net, NetId, Obstacle, ObstacleId, Pin, PinId, Technology,
-};
+use crate::{DesignError, LayerId, Net, NetId, Obstacle, ObstacleId, Pin, PinId, Technology};
 use tpl_geom::Rect;
 
 /// A complete routing problem instance: technology, die area, pins, nets and
@@ -166,12 +164,7 @@ impl DesignBuilder {
 
     /// Adds a single-shape pin and returns its id.  The pin is not attached
     /// to a net until [`DesignBuilder::add_net`] references it.
-    pub fn add_pin_shape(
-        &mut self,
-        name: impl Into<String>,
-        layer: u32,
-        rect: Rect,
-    ) -> PinId {
+    pub fn add_pin_shape(&mut self, name: impl Into<String>, layer: u32, rect: Rect) -> PinId {
         self.add_pin(name, vec![(LayerId::new(layer), rect)])
     }
 
@@ -179,7 +172,8 @@ impl DesignBuilder {
     pub fn add_pin(&mut self, name: impl Into<String>, shapes: Vec<(LayerId, Rect)>) -> PinId {
         let id = PinId::from(self.pins.len());
         // The owning net is patched in `add_net`.
-        self.pins.push(Pin::new(id, name, NetId::new(u32::MAX), shapes));
+        self.pins
+            .push(Pin::new(id, name, NetId::new(u32::MAX), shapes));
         id
     }
 
@@ -199,7 +193,8 @@ impl DesignBuilder {
     /// Adds a colourable obstacle.
     pub fn add_obstacle(&mut self, layer: u32, rect: Rect) -> ObstacleId {
         let id = ObstacleId::from(self.obstacles.len());
-        self.obstacles.push(Obstacle::new(id, LayerId::new(layer), rect));
+        self.obstacles
+            .push(Obstacle::new(id, LayerId::new(layer), rect));
         id
     }
 

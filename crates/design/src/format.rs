@@ -14,9 +14,7 @@
 //! obs <layer> <x1> <y1> <x2> <y2> <colorable 0|1>
 //! ```
 
-use crate::{
-    Design, DesignBuilder, DesignError, Layer, LayerId, Technology,
-};
+use crate::{Design, DesignBuilder, DesignError, Layer, LayerId, Technology};
 use tpl_geom::{Axis, Dbu, Rect};
 
 /// Serialises a design to the textual format.
@@ -94,7 +92,8 @@ pub fn read_design(text: &str) -> Result<Design, DesignError> {
     let mut dcolor: Dbu = 0;
     let mut layers: Vec<Layer> = Vec::new();
     // (pin name, net index, shapes)
-    let mut pins: Vec<(String, usize, Vec<(LayerId, Rect)>)> = Vec::new();
+    type PinSpec = (String, usize, Vec<(LayerId, Rect)>);
+    let mut pins: Vec<PinSpec> = Vec::new();
     let mut nets: Vec<(String, Vec<usize>)> = Vec::new();
     let mut obstacles: Vec<(u32, Rect, bool)> = Vec::new();
 
@@ -148,7 +147,7 @@ pub fn read_design(text: &str) -> Result<Design, DesignError> {
                 ));
             }
             "pin" => {
-                if toks.len() < 8 || (toks.len() - 3) % 5 != 0 {
+                if toks.len() < 8 || !(toks.len() - 3).is_multiple_of(5) {
                     return Err(parse_err(lineno, "pin needs name, net and 5-field shapes"));
                 }
                 let pin_name = toks[1].to_string();
@@ -220,10 +219,9 @@ pub fn read_design(text: &str) -> Result<Design, DesignError> {
         let ids = pin_refs
             .iter()
             .map(|idx| {
-                pin_ids
-                    .get(*idx)
-                    .copied()
-                    .ok_or_else(|| parse_err(0, format!("net {net_name} references missing pin {idx}")))
+                pin_ids.get(*idx).copied().ok_or_else(|| {
+                    parse_err(0, format!("net {net_name} references missing pin {idx}"))
+                })
             })
             .collect::<Result<Vec<_>, _>>()?;
         builder.add_net(net_name.clone(), ids);
@@ -270,7 +268,7 @@ mod tests {
         assert_eq!(d2.nets().len(), d.nets().len());
         assert_eq!(d2.pins().len(), d.pins().len());
         assert_eq!(d2.obstacles().len(), d.obstacles().len());
-        assert_eq!(d2.obstacles()[1].colorable, false);
+        assert!(!d2.obstacles()[1].colorable);
         assert_eq!(d2.net(crate::NetId::new(0)).pin_count(), 3);
     }
 

@@ -102,7 +102,11 @@ mod tests {
     #[test]
     fn covers_checks_layer_and_geometry() {
         let mut g = RouteGuides::new(1);
-        g.add(NetId::new(0), LayerId::new(1), Rect::from_coords(0, 0, 100, 100));
+        g.add(
+            NetId::new(0),
+            LayerId::new(1),
+            Rect::from_coords(0, 0, 100, 100),
+        );
         assert!(g.covers(
             NetId::new(0),
             LayerId::new(1),
@@ -123,9 +127,20 @@ mod tests {
     #[test]
     fn bbox_is_union_of_regions() {
         let mut g = RouteGuides::new(1);
-        g.add(NetId::new(0), LayerId::new(0), Rect::from_coords(0, 0, 10, 10));
-        g.add(NetId::new(0), LayerId::new(1), Rect::from_coords(90, 90, 120, 100));
-        assert_eq!(g.bbox(NetId::new(0)), Some(Rect::from_coords(0, 0, 120, 100)));
+        g.add(
+            NetId::new(0),
+            LayerId::new(0),
+            Rect::from_coords(0, 0, 10, 10),
+        );
+        g.add(
+            NetId::new(0),
+            LayerId::new(1),
+            Rect::from_coords(90, 90, 120, 100),
+        );
+        assert_eq!(
+            g.bbox(NetId::new(0)),
+            Some(Rect::from_coords(0, 0, 120, 100))
+        );
         assert_eq!(g.total_regions(), 2);
     }
 }

@@ -62,11 +62,7 @@ mod tests {
     #[test]
     fn multi_pin_detection() {
         let two = Net::new(NetId::new(0), "a", vec![PinId::new(0), PinId::new(1)]);
-        let four = Net::new(
-            NetId::new(1),
-            "b",
-            (0..4).map(PinId::new).collect(),
-        );
+        let four = Net::new(NetId::new(1), "b", (0..4).map(PinId::new).collect());
         assert!(!two.is_multi_pin());
         assert!(four.is_multi_pin());
         assert_eq!(four.pin_count(), 4);

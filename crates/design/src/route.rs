@@ -294,7 +294,8 @@ mod tests {
             Segment::new(Point::new(100, 0), Point::new(100, 50)),
             8,
         ));
-        rn.vias.push(ViaInstance::new(LayerId::new(1), Point::new(100, 0)));
+        rn.vias
+            .push(ViaInstance::new(LayerId::new(1), Point::new(100, 0)));
         assert_eq!(rn.wirelength(), 150);
         assert_eq!(rn.via_count(), 1);
         assert!(!rn.is_empty());
@@ -343,7 +344,9 @@ mod tests {
 
         // Adding vias at both pins fixes the wrong-layer route.
         let mut with_vias = wrong_layer.clone();
-        with_vias.vias.push(ViaInstance::new(LayerId::new(0), Point::new(5, 5)));
+        with_vias
+            .vias
+            .push(ViaInstance::new(LayerId::new(0), Point::new(5, 5)));
         with_vias
             .vias
             .push(ViaInstance::new(LayerId::new(0), Point::new(205, 205)));

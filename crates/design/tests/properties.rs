@@ -10,15 +10,13 @@ fn arb_design() -> impl Strategy<Value = tpl_design::Design> {
     let net_specs = prop::collection::vec(2usize..6, 1..12);
     (net_specs, 2usize..5, any::<u64>()).prop_map(|(pins_per_net, layers, salt)| {
         let die = Rect::from_coords(0, 0, 4000, 4000);
-        let mut b = DesignBuilder::new(
-            format!("prop_{salt}"),
-            Technology::ispd_like(layers),
-            die,
-        );
+        let mut b = DesignBuilder::new(format!("prop_{salt}"), Technology::ispd_like(layers), die);
         let mut rng = salt;
         let mut next = move || {
             // Tiny deterministic LCG so the strategy itself stays simple.
-            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             rng
         };
         for (ni, npins) in pins_per_net.iter().enumerate() {

@@ -240,7 +240,9 @@ mod tests {
         let mut buffers = SearchBuffers::new(g.num_vertices());
         let sources = c.vertices(PinId::new(0)).to_vec();
         let unreached = vec![PinId::new(1)];
-        let (dst, pin) = ctx.search(&mut buffers, &sources, &unreached).expect("path exists");
+        let (dst, pin) = ctx
+            .search(&mut buffers, &sources, &unreached)
+            .expect("path exists");
         assert_eq!(pin, PinId::new(1));
         let path = ctx.backtrace(&buffers, dst);
         assert!(path.len() >= 2);
@@ -303,11 +305,15 @@ mod tests {
         };
         let mut buffers = SearchBuffers::new(g.num_vertices());
         let sources = c.vertices(PinId::new(0)).to_vec();
-        let (dst, _) = ctx.search(&mut buffers, &sources, &[PinId::new(1)]).unwrap();
+        let (dst, _) = ctx
+            .search(&mut buffers, &sources, &[PinId::new(1)])
+            .unwrap();
         let path = ctx.backtrace(&buffers, dst);
         // The path never steps on an occupied vertex because the detour
         // through the gap is cheaper than the occupancy penalty.
-        assert!(path.iter().all(|v| !s.is_occupied_by_other(*v, NetId::new(0))));
+        assert!(path
+            .iter()
+            .all(|v| !s.is_occupied_by_other(*v, NetId::new(0))));
     }
 
     #[test]

@@ -77,7 +77,10 @@ impl DrCuRouter {
         let mut order: Vec<NetId> = design.nets().iter().map(|n| n.id()).collect();
         order.sort_by_key(|id| {
             (
-                design.net_bbox(*id).map(|b| b.half_perimeter()).unwrap_or(0),
+                design
+                    .net_bbox(*id)
+                    .map(|b| b.half_perimeter())
+                    .unwrap_or(0),
                 id.index(),
             )
         });
@@ -197,9 +200,8 @@ impl DrCuRouter {
                     }
                     unreached.retain(|p| *p != pin);
                     // Any other pin covered by the path is also reached.
-                    unreached.retain(|p| {
-                        !coverage.vertices(*p).iter().any(|v| tree_set.contains(v))
-                    });
+                    unreached
+                        .retain(|p| !coverage.vertices(*p).iter().any(|v| tree_set.contains(v)));
                 }
                 None => {
                     complete = false;

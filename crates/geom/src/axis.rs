@@ -53,7 +53,10 @@ mod tests {
 
     #[test]
     fn perpendicular_is_involutive() {
-        assert_eq!(Axis::Horizontal.perpendicular().perpendicular(), Axis::Horizontal);
+        assert_eq!(
+            Axis::Horizontal.perpendicular().perpendicular(),
+            Axis::Horizontal
+        );
         assert_eq!(Axis::Vertical.perpendicular(), Axis::Horizontal);
     }
 

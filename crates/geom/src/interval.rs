@@ -92,7 +92,10 @@ impl Interval {
     /// Panics if either interval is empty.
     #[inline]
     pub fn gap_to(&self, other: &Interval) -> Dbu {
-        assert!(!self.is_empty() && !other.is_empty(), "gap_to on empty interval");
+        assert!(
+            !self.is_empty() && !other.is_empty(),
+            "gap_to on empty interval"
+        );
         if self.overlaps(other) {
             0
         } else if self.hi < other.lo {

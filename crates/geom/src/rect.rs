@@ -79,10 +79,7 @@ impl Rect {
     /// The centre point, rounded towards the lower-left.
     #[inline]
     pub fn center(&self) -> Point {
-        Point::new(
-            self.lo.x + self.width() / 2,
-            self.lo.y + self.height() / 2,
-        )
+        Point::new(self.lo.x + self.width() / 2, self.lo.y + self.height() / 2)
     }
 
     /// Projection onto the x axis.

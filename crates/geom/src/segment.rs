@@ -91,8 +91,7 @@ impl Segment {
     #[inline]
     pub fn contains_point(&self, p: &Point) -> bool {
         self.bbox().contains(p)
-            && (self.a.x == self.b.x && p.x == self.a.x
-                || self.a.y == self.b.y && p.y == self.a.y)
+            && (self.a.x == self.b.x && p.x == self.a.x || self.a.y == self.b.y && p.y == self.a.y)
     }
 }
 

@@ -179,7 +179,10 @@ impl GlobalRouter {
         // options), deterministic tie-break on id.
         let mut order: Vec<NetId> = design.nets().iter().map(|n| n.id()).collect();
         order.sort_by_key(|id| {
-            let bbox = design.net_bbox(*id).map(|b| b.half_perimeter()).unwrap_or(0);
+            let bbox = design
+                .net_bbox(*id)
+                .map(|b| b.half_perimeter())
+                .unwrap_or(0);
             (Reverse(bbox), id.index())
         });
 
@@ -216,7 +219,12 @@ impl GlobalRouter {
         stats.overflowed_edges = edges.overflowed_edges();
         stats.total_edge_usage = net_paths
             .iter()
-            .map(|paths| paths.iter().map(|p| p.len().saturating_sub(1)).sum::<usize>())
+            .map(|paths| {
+                paths
+                    .iter()
+                    .map(|p| p.len().saturating_sub(1))
+                    .sum::<usize>()
+            })
             .sum();
 
         // Convert paths into guides: the union of visited gcells expanded by
@@ -239,10 +247,7 @@ impl GlobalRouter {
             let e = cfg.guide_expansion;
             for (gx, gy) in cells {
                 let lo = grid.cell_rect(gx.saturating_sub(e), gy.saturating_sub(e));
-                let hi = grid.cell_rect(
-                    (gx + e).min(grid.nx() - 1),
-                    (gy + e).min(grid.ny() - 1),
-                );
+                let hi = grid.cell_rect((gx + e).min(grid.nx() - 1), (gy + e).min(grid.ny() - 1));
                 let rect = lo.hull(&hi);
                 for layer in 0..design.tech().num_layers() {
                     guides.add(net.id(), LayerId::from(layer), rect);
@@ -424,7 +429,12 @@ fn maze_route(
         let ux = u % grid.nx();
         let uy = u / grid.nx();
         let du = dist[u];
-        let push = |vx: usize, vy: usize, cost: f64, heap: &mut BinaryHeap<Reverse<(u64, usize)>>, dist: &mut Vec<f64>, prev: &mut Vec<usize>| {
+        let push = |vx: usize,
+                    vy: usize,
+                    cost: f64,
+                    heap: &mut BinaryHeap<Reverse<(u64, usize)>>,
+                    dist: &mut Vec<f64>,
+                    prev: &mut Vec<usize>| {
             let v = grid.index(vx, vy);
             let nd = du + cost;
             if nd < dist[v] {
@@ -434,16 +444,44 @@ fn maze_route(
             }
         };
         if ux + 1 < grid.nx() {
-            push(ux + 1, uy, edges.h_cost(ux, uy, cfg), &mut heap, &mut dist, &mut prev);
+            push(
+                ux + 1,
+                uy,
+                edges.h_cost(ux, uy, cfg),
+                &mut heap,
+                &mut dist,
+                &mut prev,
+            );
         }
         if ux > 0 {
-            push(ux - 1, uy, edges.h_cost(ux - 1, uy, cfg), &mut heap, &mut dist, &mut prev);
+            push(
+                ux - 1,
+                uy,
+                edges.h_cost(ux - 1, uy, cfg),
+                &mut heap,
+                &mut dist,
+                &mut prev,
+            );
         }
         if uy + 1 < grid.ny() {
-            push(ux, uy + 1, edges.v_cost(ux, uy, cfg), &mut heap, &mut dist, &mut prev);
+            push(
+                ux,
+                uy + 1,
+                edges.v_cost(ux, uy, cfg),
+                &mut heap,
+                &mut dist,
+                &mut prev,
+            );
         }
         if uy > 0 {
-            push(ux, uy - 1, edges.v_cost(ux, uy - 1, cfg), &mut heap, &mut dist, &mut prev);
+            push(
+                ux,
+                uy - 1,
+                edges.v_cost(ux, uy - 1, cfg),
+                &mut heap,
+                &mut dist,
+                &mut prev,
+            );
         }
     }
 
@@ -466,7 +504,11 @@ fn maze_route(
 /// Convenience: the centre of a pin's bounding box (used by tests).
 #[allow(dead_code)]
 fn pin_center(design: &Design, pin: tpl_design::PinId) -> Point {
-    design.pin(pin).bbox().map(|b| b.center()).unwrap_or(Point::ORIGIN)
+    design
+        .pin(pin)
+        .bbox()
+        .map(|b| b.center())
+        .unwrap_or(Point::ORIGIN)
 }
 
 #[cfg(test)]

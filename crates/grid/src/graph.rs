@@ -156,7 +156,10 @@ impl GridGraph {
     #[inline]
     pub fn point_of(&self, v: VertexId) -> Point {
         let (_, ix, iy) = self.coords(v);
-        Point::new(self.x0 + ix as Dbu * self.pitch, self.y0 + iy as Dbu * self.pitch)
+        Point::new(
+            self.x0 + ix as Dbu * self.pitch,
+            self.y0 + iy as Dbu * self.pitch,
+        )
     }
 
     /// The x coordinate of track `ix`.

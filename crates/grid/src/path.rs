@@ -24,8 +24,8 @@ pub fn path_to_routed_net(grid: &GridGraph, path: &[VertexId], out: &mut RoutedN
         let curr = path[i];
         let (pl, px, py) = grid.coords(prev);
         let (cl, cx, cy) = grid.coords(curr);
-        let step_planar = pl == cl
-            && ((px as i64 - cx as i64).abs() + (py as i64 - cy as i64).abs() == 1);
+        let step_planar =
+            pl == cl && ((px as i64 - cx as i64).abs() + (py as i64 - cy as i64).abs() == 1);
         let step_via = px == cx && py == cy && (pl as i64 - cl as i64).abs() == 1;
         assert!(
             step_planar || step_via,
@@ -105,7 +105,10 @@ mod tests {
         path_to_routed_net(&g, &path, &mut rn);
         assert_eq!(rn.segments.len(), 1);
         assert_eq!(rn.vias.len(), 0);
-        assert_eq!(rn.segments[0].seg, Segment::new(Point::new(10, 70), Point::new(90, 70)));
+        assert_eq!(
+            rn.segments[0].seg,
+            Segment::new(Point::new(10, 70), Point::new(90, 70))
+        );
         assert_eq!(rn.wirelength(), 80);
     }
 

@@ -73,8 +73,7 @@ impl PinCoverage {
 
     /// The pin of net `net` covering vertex `v`, if any.
     pub fn net_pin_at(&self, design: &Design, net: NetId, v: VertexId) -> Option<PinId> {
-        self.pin_at(v)
-            .filter(|p| design.pin(*p).net() == net)
+        self.pin_at(v).filter(|p| design.pin(*p).net() == net)
     }
 
     /// Number of pins covered.
@@ -127,7 +126,10 @@ mod tests {
     fn wide_pin_covers_multiple_vertices_on_its_layer() {
         let (_, g, cov) = setup();
         let vs = cov.vertices(PinId::new(2));
-        assert!(vs.len() >= 4, "wide pin should cover several crossings, got {vs:?}");
+        assert!(
+            vs.len() >= 4,
+            "wide pin should cover several crossings, got {vs:?}"
+        );
         for v in vs {
             assert_eq!(g.layer_of(*v).index(), 1);
         }
@@ -137,10 +139,7 @@ mod tests {
     fn net_pin_lookup_filters_by_net() {
         let (d, g, cov) = setup();
         let v = g.vertex(0, 1, 1);
-        assert_eq!(
-            cov.net_pin_at(&d, NetId::new(0), v),
-            Some(PinId::new(0))
-        );
+        assert_eq!(cov.net_pin_at(&d, NetId::new(0), v), Some(PinId::new(0)));
         // A vertex not covered by any pin.
         let empty = g.vertex(2, 0, 0);
         assert_eq!(cov.net_pin_at(&d, NetId::new(0), empty), None);

@@ -31,7 +31,12 @@ pub fn generate_design(params: &CaseParams) -> Design {
     // A handful of hot spots that several nets gravitate towards.
     let num_hotspots = (params.num_nets / 60).clamp(1, 8);
     let hotspots: Vec<(i64, i64)> = (0..num_hotspots)
-        .map(|_| (rng.gen_range(4..w.max(5) - 4), rng.gen_range(4..h.max(5) - 4)))
+        .map(|_| {
+            (
+                rng.gen_range(4..w.max(5) - 4),
+                rng.gen_range(4..h.max(5) - 4),
+            )
+        })
         .collect();
 
     // Slot bookkeeping: which net owns each used track crossing.  Pins of
@@ -105,8 +110,7 @@ pub fn generate_design(params: &CaseParams) -> Design {
             let x = track_coord(tx);
             let y = track_coord(ty);
             let rect = Rect::from_coords(x - half_pin, y - half_pin, x + half_pin, y + half_pin);
-            let pin_id =
-                builder.add_pin_shape(format!("n{net_idx}_p{pin_counter}"), 0, rect);
+            let pin_id = builder.add_pin_shape(format!("n{net_idx}_p{pin_counter}"), 0, rect);
             pin_counter += 1;
             pin_ids.push(pin_id);
         }
@@ -124,12 +128,7 @@ pub fn generate_design(params: &CaseParams) -> Design {
         let oh = rng.gen_range(3..=8).min(h - 2);
         let ox = rng.gen_range(0..(w - ow).max(1));
         let oy = rng.gen_range(0..(h - oh).max(1));
-        let rect = Rect::from_coords(
-            ox * pitch,
-            oy * pitch,
-            (ox + ow) * pitch,
-            (oy + oh) * pitch,
-        );
+        let rect = Rect::from_coords(ox * pitch, oy * pitch, (ox + ow) * pitch, (oy + oh) * pitch);
         if rng.gen_bool(0.8) {
             builder.add_obstacle(layer, rect);
         } else {
@@ -160,7 +159,10 @@ mod tests {
         let p1 = CaseParams::ispd18_like(1);
         let mut p2 = p1.clone();
         p2.seed += 1;
-        assert_ne!(write_design(&generate_design(&p1)), write_design(&generate_design(&p2)));
+        assert_ne!(
+            write_design(&generate_design(&p1)),
+            write_design(&generate_design(&p2))
+        );
     }
 
     #[test]
@@ -171,7 +173,10 @@ mod tests {
         assert_eq!(stats.num_nets, p.num_nets);
         assert_eq!(stats.num_layers, p.num_layers);
         assert_eq!(stats.num_obstacles, p.num_obstacles);
-        assert!(stats.multi_pin_nets > 0, "suite must contain multi-pin nets");
+        assert!(
+            stats.multi_pin_nets > 0,
+            "suite must contain multi-pin nets"
+        );
         assert!(stats.max_pins_per_net <= p.max_pins_per_net);
         assert_eq!(d.die().width(), p.width_dbu());
     }
@@ -185,10 +190,7 @@ mod tests {
             for j in (i + 1)..pins.len() {
                 let a = pins[i].shapes()[0].1;
                 let b = pins[j].shapes()[0].1;
-                assert!(
-                    !a.intersects(&b),
-                    "pins {i} and {j} overlap: {a} vs {b}"
-                );
+                assert!(!a.intersects(&b), "pins {i} and {j} overlap: {a} vs {b}");
             }
         }
     }

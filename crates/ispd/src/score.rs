@@ -100,8 +100,9 @@ pub fn score_solution(
 
     // Per-layer spatial index over (net, rect) for spacing checks.
     let num_layers = design.tech().num_layers();
-    let mut indexes: Vec<BinIndex> =
-        (0..num_layers).map(|_| BinIndex::new(design.die(), 16 * pitch)).collect();
+    let mut indexes: Vec<BinIndex> = (0..num_layers)
+        .map(|_| BinIndex::new(design.die(), 16 * pitch))
+        .collect();
     // Entry id encoding: net index (or obstacle marker) packed with a serial.
     let mut entry_net: Vec<NetId> = Vec::new();
     const OBSTACLE_NET: u32 = u32::MAX;
@@ -111,12 +112,7 @@ pub fn score_solution(
             let layer = design.tech().layer(seg.layer);
             let len = seg.length();
             breakdown.wirelength_dbu += len;
-            if seg
-                .seg
-                .axis()
-                .map(|a| a != layer.axis)
-                .unwrap_or(false)
-            {
+            if seg.seg.axis().map(|a| a != layer.axis).unwrap_or(false) {
                 breakdown.wrong_way_dbu += len;
             }
             if !guides.covers(net_id, seg.layer, &seg.rect()) {
@@ -174,12 +170,7 @@ pub fn score_solution(
     breakdown.unrouted_nets = design
         .nets()
         .iter()
-        .filter(|n| {
-            solution
-                .get(n.id())
-                .map(|r| r.is_empty())
-                .unwrap_or(true)
-        })
+        .filter(|n| solution.get(n.id()).map(|r| r.is_empty()).unwrap_or(true))
         .count();
 
     let pitchf = pitch as f64;
@@ -195,7 +186,9 @@ pub fn score_solution(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tpl_design::{DesignBuilder, LayerId as L, RouteSegment, RoutedNet, Technology, ViaInstance};
+    use tpl_design::{
+        DesignBuilder, LayerId as L, RouteSegment, RoutedNet, Technology, ViaInstance,
+    };
     use tpl_geom::{Point, Rect, Segment};
 
     fn design() -> Design {
@@ -236,7 +229,8 @@ mod tests {
         let guides = RouteGuides::new(d.nets().len());
         let mut sol = RoutingSolution::new(d.nets().len());
         let mut rn = straight_route(0, Point::new(5, 5), Point::new(205, 5));
-        rn.vias.push(ViaInstance::new(L::new(0), Point::new(205, 5)));
+        rn.vias
+            .push(ViaInstance::new(L::new(0), Point::new(205, 5)));
         sol.set(NetId::new(0), rn);
         let score = score_solution(&d, &guides, &sol, &ScoreWeights::default());
         assert_eq!(score.wirelength_dbu, 200);

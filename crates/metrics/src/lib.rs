@@ -79,8 +79,7 @@ mod tests {
         ));
         sol.set(net, rn);
         let masks = vec![vec![Some(Mask::Green)]];
-        let layout =
-            layout_from_assignment(&design, &sol, &masks, &|_, _| Some(Mask::Green));
+        let layout = layout_from_assignment(&design, &sol, &masks, &|_, _| Some(Mask::Green));
         assert_eq!(layout.features().len(), 3);
         assert_eq!(layout.count_conflicts(), 0);
         assert_eq!(layout.count_stitches(), 0);

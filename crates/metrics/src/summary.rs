@@ -70,7 +70,7 @@ impl SuiteSummary {
         assert_eq!(baseline.len(), ours.len(), "paired records required");
         let n = baseline.len().max(1) as f64;
         let mean = |f: &dyn Fn(&CaseRecord) -> f64, records: &[CaseRecord]| {
-            records.iter().map(|r| f(r)).sum::<f64>() / n
+            records.iter().map(f).sum::<f64>() / n
         };
         let avg_improvement = |f: &dyn Fn(&CaseRecord) -> f64| {
             let pairs: Vec<(f64, f64)> = baseline
@@ -149,10 +149,7 @@ mod tests {
             rec("t1", 10, 100, 1000.0, 10.0),
             rec("t2", 0, 50, 2000.0, 20.0),
         ];
-        let ours = vec![
-            rec("t1", 5, 25, 900.0, 2.0),
-            rec("t2", 0, 10, 1900.0, 4.0),
-        ];
+        let ours = vec![rec("t1", 5, 25, 900.0, 2.0), rec("t2", 0, 10, 1900.0, 4.0)];
         let s = SuiteSummary::from_records(&baseline, &ours);
         assert_eq!(s.baseline_conflicts, 5.0);
         assert_eq!(s.ours_conflicts, 2.5);

@@ -30,7 +30,12 @@ fn main() {
     let guides = GlobalRouter::new(GlobalConfig::default()).route(&design);
     let result = MrTplRouter::new(MrTplConfig::default()).route(&design, &guides);
 
-    println!("case {}: {} conflicts, {} stitches", design.name(), result.stats.conflicts, result.stats.stitches);
+    println!(
+        "case {}: {} conflicts, {} stitches",
+        design.name(),
+        result.stats.conflicts,
+        result.stats.stitches
+    );
     println!("conflict history : {:?}", result.stats.conflict_history);
 
     let features = result.layout.features();
@@ -42,7 +47,9 @@ fn main() {
             kind_name(features[c.b].kind).to_string(),
         ];
         kinds.sort();
-        *by_kind.entry((kinds[0].clone(), kinds[1].clone())).or_default() += 1;
+        *by_kind
+            .entry((kinds[0].clone(), kinds[1].clone()))
+            .or_default() += 1;
         *by_layer.entry(c.layer.index()).or_default() += 1;
     }
     println!("-- by feature kind --");

@@ -25,7 +25,8 @@ fn main() {
 
     // Baseline: colour-blind routing followed by layout decomposition.
     let routed = DrCuRouter::new(DrCuConfig::default()).route(&design, &guides);
-    let decomposed = Decomposer::new(DecomposeConfig::default()).decompose(&design, &routed.solution);
+    let decomposed =
+        Decomposer::new(DecomposeConfig::default()).decompose(&design, &routed.solution);
     println!(
         "route-then-decompose: conflicts {:5}  stitches {:5}  ({} features, {} graph edges)",
         decomposed.stats.conflicts,
