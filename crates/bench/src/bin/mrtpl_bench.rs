@@ -1,0 +1,86 @@
+//! Unified suite-execution CLI: run any method × case matrix over the
+//! ISPD-2018/2019-like suites in parallel and report text or JSON.
+//!
+//! ```bash
+//! cargo run --release -p tpl-bench --bin mrtpl-bench -- \
+//!     --suite ispd18 --cases 1,2 --methods dac12,mrtpl \
+//!     --jobs 8 --format json --out report.json
+//! ```
+//!
+//! See `--help` for the full flag list; `table2`/`table3` are thin presets
+//! over this binary's engine.
+
+use std::process::ExitCode;
+use tpl_bench::cli::{self, Format};
+
+fn main() -> ExitCode {
+    // Exit codes: 0 success, 1 run completed with failed jobs or I/O error,
+    // 2 usage error — same convention as the table bins.
+    let args = match cli::parse_bench_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("error: {message}\n\n{}", cli::USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    if args.help {
+        print!("{}", cli::USAGE);
+        return ExitCode::SUCCESS;
+    }
+    if args.list_methods {
+        print!("{}", cli::render_method_list());
+        return ExitCode::SUCCESS;
+    }
+
+    eprintln!(
+        "mrtpl-bench: suite {} cases {} methods {} scale {} jobs {}",
+        args.suite.name(),
+        if args.cases.is_empty() {
+            "all".to_string()
+        } else {
+            format!("{:?}", args.cases)
+        },
+        args.methods,
+        args.scale,
+        args.jobs,
+    );
+    let report = match cli::execute(&args) {
+        Ok(report) => report,
+        // The only execute error is an unknown --methods name: usage error.
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let rendered = match args.format {
+        Format::Text => cli::render_text(&report),
+        Format::Json => report.to_json(),
+    };
+    if let Some(path) = &args.out {
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            if !parent.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    eprintln!("error: cannot create {}: {e}", parent.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if let Err(e) = std::fs::write(path, &rendered) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("report written to {path}");
+    } else {
+        print!("{rendered}");
+    }
+    let failed = report
+        .records
+        .iter()
+        .filter(|r| r.error().is_some())
+        .count();
+    if failed > 0 {
+        eprintln!("{failed} job(s) failed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,16 +1,23 @@
 //! Regenerates Table II of the paper: Mr.TPL vs the DAC'12 TPL-aware router
-//! on the ISPD-2018-like suite.
+//! on the ISPD-2018-like suite.  A thin preset over the `tpl-harness`
+//! execution engine (see the `mrtpl-bench` binary for the general CLI).
 //!
 //! ```bash
-//! cargo run --release -p tpl-bench --bin table2 [case indices] [--scale s]
+//! cargo run --release -p tpl-bench --bin table2 [case indices] [--scale s] [--jobs n]
 //! ```
 
 fn main() {
-    let (cases, scale) = tpl_bench::parse_cli(std::env::args().skip(1));
+    let (cases, scale, jobs) = match tpl_bench::parse_cli(std::env::args().skip(1)) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    };
     eprintln!(
-        "Table II — Mr.TPL vs DAC'12 baseline (cases {:?}, scale {scale})",
+        "Table II — Mr.TPL vs DAC'12 baseline (cases {:?}, scale {scale}, jobs {jobs})",
         cases
     );
-    let table = tpl_bench::render_table2(&cases, scale);
+    let table = tpl_bench::render_table2(&cases, scale, jobs);
     println!("{table}");
 }

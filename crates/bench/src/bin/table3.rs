@@ -1,17 +1,24 @@
 //! Regenerates Table III of the paper: Mr.TPL vs OpenMPL-style layout
 //! decomposition of the colour-blind router's output, on the ISPD-2019-like
-//! suite.
+//! suite.  A thin preset over the `tpl-harness` execution engine (see the
+//! `mrtpl-bench` binary for the general CLI).
 //!
 //! ```bash
-//! cargo run --release -p tpl-bench --bin table3 [case indices] [--scale s]
+//! cargo run --release -p tpl-bench --bin table3 [case indices] [--scale s] [--jobs n]
 //! ```
 
 fn main() {
-    let (cases, scale) = tpl_bench::parse_cli(std::env::args().skip(1));
+    let (cases, scale, jobs) = match tpl_bench::parse_cli(std::env::args().skip(1)) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    };
     eprintln!(
-        "Table III — Mr.TPL vs OpenMPL-style decomposition (cases {:?}, scale {scale})",
+        "Table III — Mr.TPL vs OpenMPL-style decomposition (cases {:?}, scale {scale}, jobs {jobs})",
         cases
     );
-    let table = tpl_bench::render_table3(&cases, scale);
+    let table = tpl_bench::render_table3(&cases, scale, jobs);
     println!("{table}");
 }

@@ -1,0 +1,341 @@
+//! Argument parsing and text rendering of the `mrtpl-bench` binary.
+
+use tpl_harness::{run_matrix, MethodRegistry, RunOptions, RunReport};
+use tpl_ispd::{run_suite, Suite};
+use tpl_metrics::{format_table, SuiteTotals, TableRow};
+
+/// Output format of `mrtpl-bench`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Format {
+    /// Aligned plain-text table plus per-method totals.
+    Text,
+    /// The JSON report of `tpl-harness` (see its schema docs).
+    Json,
+}
+
+/// Parsed `mrtpl-bench` arguments.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchArgs {
+    /// The suite to run.
+    pub suite: Suite,
+    /// Case indices (empty means all ten).
+    pub cases: Vec<usize>,
+    /// Comma-separated method selection.
+    pub methods: String,
+    /// Scale factor applied to every case.
+    pub scale: f64,
+    /// Worker-thread count.
+    pub jobs: usize,
+    /// Output format.
+    pub format: Format,
+    /// Write the report to this path instead of stdout.
+    pub out: Option<String>,
+    /// Zero wall-clock fields for byte-stable output.
+    pub deterministic: bool,
+    /// Print the method registry and exit.
+    pub list_methods: bool,
+    /// Print usage and exit.
+    pub help: bool,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs {
+            suite: Suite::Ispd18,
+            cases: Vec::new(),
+            methods: "dac12,mrtpl".to_string(),
+            scale: 1.0,
+            jobs: 1,
+            format: Format::Text,
+            out: None,
+            deterministic: false,
+            list_methods: false,
+            help: false,
+        }
+    }
+}
+
+/// The usage text printed by `--help` and on parse errors.
+pub const USAGE: &str = "\
+mrtpl-bench — run a method × case matrix over an ISPD-like suite
+
+USAGE:
+  mrtpl-bench [OPTIONS]
+
+OPTIONS:
+  --suite <ispd18|ispd19>   suite to run (default: ispd18)
+  --cases <LIST>            comma-separated case indices 1..=10 (default: all)
+  --methods <LIST>          comma-separated methods (default: dac12,mrtpl)
+  --scale <S>               case scale factor (default: 1.0)
+  --jobs <N>                worker threads (default: 1)
+  --format <text|json>      output format (default: text)
+  --out <PATH>              write the report to a file instead of stdout
+  --deterministic           zero wall-clock fields (byte-stable output)
+  --list-methods            print the method registry and exit
+  --help                    print this help
+
+PRESETS:
+  table2 == --suite ispd18 --methods dac12,mrtpl
+  table3 == --suite ispd19 --methods decompose,mrtpl
+";
+
+/// Parses a `--scale` value: a strictly positive, finite float (`inf` would
+/// saturate the case dimensions instead of erroring).
+pub fn parse_scale_value(v: &str) -> Result<f64, String> {
+    v.parse::<f64>()
+        .ok()
+        .filter(|s| s.is_finite() && *s > 0.0)
+        .ok_or_else(|| format!("invalid --scale value `{v}`"))
+}
+
+/// Parses a `--jobs` value: an integer of at least 1.
+pub fn parse_jobs_value(v: &str) -> Result<usize, String> {
+    v.parse::<usize>()
+        .ok()
+        .filter(|j| *j >= 1)
+        .ok_or_else(|| format!("invalid --jobs value `{v}`"))
+}
+
+/// Parses `mrtpl-bench` arguments (without the program name).
+pub fn parse_bench_args(args: impl Iterator<Item = String>) -> Result<BenchArgs, String> {
+    let mut parsed = BenchArgs::default();
+    let mut iter = args;
+    while let Some(arg) = iter.next() {
+        let mut take = |flag: &str| {
+            iter.next()
+                .ok_or_else(|| format!("missing value after {flag}"))
+        };
+        match arg.as_str() {
+            "--suite" => {
+                let v = take("--suite")?;
+                parsed.suite = Suite::parse(&v)
+                    .ok_or_else(|| format!("unknown suite `{v}` (ispd18 or ispd19)"))?;
+            }
+            "--cases" => {
+                let v = take("--cases")?;
+                parsed.cases = parse_case_list(&v)?;
+            }
+            "--methods" => parsed.methods = take("--methods")?,
+            "--scale" => parsed.scale = parse_scale_value(&take("--scale")?)?,
+            "--jobs" => parsed.jobs = parse_jobs_value(&take("--jobs")?)?,
+            "--format" => {
+                let v = take("--format")?;
+                parsed.format = match v.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    _ => return Err(format!("unknown format `{v}` (text or json)")),
+                };
+            }
+            "--out" => parsed.out = Some(take("--out")?),
+            "--deterministic" => parsed.deterministic = true,
+            "--list-methods" => parsed.list_methods = true,
+            "--help" | "-h" => parsed.help = true,
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn parse_case_list(spec: &str) -> Result<Vec<usize>, String> {
+    let mut cases = Vec::new();
+    for part in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let idx: usize = part
+            .parse()
+            .map_err(|_| format!("invalid case index `{part}`"))?;
+        if !(1..=10).contains(&idx) {
+            return Err(format!("case index {idx} out of range 1..=10"));
+        }
+        cases.push(idx);
+    }
+    Ok(cases)
+}
+
+/// Runs the parsed matrix through the harness and returns the report.
+pub fn execute(args: &BenchArgs) -> Result<RunReport, String> {
+    let registry = MethodRegistry::builtin();
+    let methods = registry.select(&args.methods)?;
+    let cases = run_suite(args.suite, &args.cases, args.scale);
+    let options = RunOptions {
+        jobs: args.jobs,
+        deterministic: args.deterministic,
+    };
+    let records = run_matrix(&methods, &cases, &options);
+    Ok(RunReport {
+        suite: args.suite.name().to_string(),
+        scale: args.scale,
+        jobs: args.jobs,
+        deterministic: args.deterministic,
+        methods: methods.iter().map(|m| m.name().to_string()).collect(),
+        records,
+    })
+}
+
+/// Renders a report as an aligned text table plus per-method totals.
+pub fn render_text(report: &RunReport) -> String {
+    let rows: Vec<TableRow> = report
+        .records
+        .iter()
+        .map(|job| match job.record() {
+            Some(r) => TableRow::new([
+                job.case.clone(),
+                job.method.clone(),
+                "ok".to_string(),
+                r.conflicts.to_string(),
+                r.stitches.to_string(),
+                format!("{:.4e}", r.cost),
+                format!("{:.2}", r.runtime_seconds),
+            ]),
+            None => TableRow::new([
+                job.case.clone(),
+                job.method.clone(),
+                "FAILED".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+            ]),
+        })
+        .collect();
+    let mut out = format_table(
+        &[
+            "case",
+            "method",
+            "status",
+            "conflicts",
+            "stitches",
+            "cost",
+            "time s",
+        ],
+        &rows,
+    );
+    out.push('\n');
+    for method in &report.methods {
+        let totals = SuiteTotals::from_records(&report.records_of(method));
+        let failed = report.failures_of(method);
+        out.push_str(&format!(
+            "total {method:<10} cases {:2} (failed {failed}): conflicts {:5}  stitches {:5}  cost {:.4e}  time {:.2}s\n",
+            totals.cases, totals.conflicts, totals.stitches, totals.cost, totals.runtime_seconds,
+        ));
+    }
+    // No speedup line in deterministic mode: wall-clock fields are zeroed,
+    // so a ratio would be a misleading 0.00x.
+    if report.methods.len() > 1 && !report.deterministic {
+        let baseline = &report.methods[0];
+        for method in &report.methods[1..] {
+            let (base, ours) = report.paired_records(baseline, method);
+            if !ours.is_empty() {
+                out.push_str(&format!(
+                    "geomean speedup {method} vs {baseline}: {:.2}x\n",
+                    tpl_metrics::geomean_speedup(&base, &ours)
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Renders the method registry for `--list-methods`.
+pub fn render_method_list() -> String {
+    let registry = MethodRegistry::builtin();
+    let mut out = String::new();
+    for method in registry.iter() {
+        out.push_str(&format!("{:<10} {}\n", method.name(), method.description()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<BenchArgs, String> {
+        parse_bench_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_match_table2_preset() {
+        let args = parse(&[]).unwrap();
+        assert_eq!(args, BenchArgs::default());
+        assert_eq!(args.suite, Suite::Ispd18);
+        assert_eq!(args.methods, "dac12,mrtpl");
+    }
+
+    #[test]
+    fn full_flag_set_parses() {
+        let args = parse(&[
+            "--suite",
+            "ispd19",
+            "--cases",
+            "1,3, 5",
+            "--methods",
+            "decompose,mrtpl",
+            "--scale",
+            "0.5",
+            "--jobs",
+            "8",
+            "--format",
+            "json",
+            "--out",
+            "report.json",
+            "--deterministic",
+        ])
+        .unwrap();
+        assert_eq!(args.suite, Suite::Ispd19);
+        assert_eq!(args.cases, vec![1, 3, 5]);
+        assert_eq!(args.methods, "decompose,mrtpl");
+        assert_eq!(args.scale, 0.5);
+        assert_eq!(args.jobs, 8);
+        assert_eq!(args.format, Format::Json);
+        assert_eq!(args.out.as_deref(), Some("report.json"));
+        assert!(args.deterministic);
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected_with_messages() {
+        assert!(parse(&["--suite", "ispd20"]).unwrap_err().contains("suite"));
+        assert!(parse(&["--cases", "11"]).unwrap_err().contains("range"));
+        assert!(parse(&["--cases", "x"]).unwrap_err().contains("invalid"));
+        assert!(parse(&["--scale", "-1"]).unwrap_err().contains("scale"));
+        assert!(parse(&["--scale", "inf"]).unwrap_err().contains("scale"));
+        assert!(parse(&["--scale", "NaN"]).unwrap_err().contains("scale"));
+        assert!(parse(&["--jobs", "0"]).unwrap_err().contains("job"));
+        assert!(parse(&["--format", "xml"]).unwrap_err().contains("format"));
+        assert!(parse(&["--scale"]).unwrap_err().contains("missing value"));
+        assert!(parse(&["--frobnicate"]).unwrap_err().contains("unknown"));
+    }
+
+    #[test]
+    fn execute_produces_a_report_with_both_formats() {
+        let args = BenchArgs {
+            cases: vec![1],
+            scale: 0.25,
+            jobs: 2,
+            deterministic: true,
+            ..BenchArgs::default()
+        };
+        let report = execute(&args).unwrap();
+        assert_eq!(report.records.len(), 2);
+        let text = render_text(&report);
+        assert!(text.contains("ispd18_like_test1"));
+        assert!(text.contains("total dac12"));
+        let json = report.to_json();
+        assert!(json.contains("\"suite\": \"ispd18\""));
+    }
+
+    #[test]
+    fn unknown_method_selection_fails_execute() {
+        let args = BenchArgs {
+            methods: "nope".to_string(),
+            ..BenchArgs::default()
+        };
+        assert!(execute(&args).unwrap_err().contains("unknown method"));
+    }
+
+    #[test]
+    fn method_list_names_all_builtins() {
+        let list = render_method_list();
+        for name in ["mrtpl", "dac12", "drcu", "decompose"] {
+            assert!(list.contains(name));
+        }
+    }
+}

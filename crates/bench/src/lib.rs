@@ -1,110 +1,85 @@
-//! Benchmark harness reproducing the paper's tables.
+//! Benchmark front-end reproducing the paper's tables.
 //!
-//! The crate provides the plumbing shared by the table-generator binaries
-//! (`table2`, `table3`) and the Criterion benches: run one benchmark case
-//! through the global router plus one of the three competing methods and
-//! collect a [`CaseRecord`] with the columns of the paper's tables.
+//! Execution lives in `tpl-harness` (the [`Method`](tpl_harness::Method)
+//! registry, the parallel scheduler, JSON reports); this crate is the
+//! presentation layer on top of it:
 //!
-//! * **Table II** (`table2`): Mr.TPL vs the DAC'12 TPL-aware router on the
-//!   ISPD-2018-like suite — conflicts, stitches, ISPD cost, runtime, speedup.
-//! * **Table III** (`table3`): Mr.TPL vs OpenMPL-style decomposition of the
-//!   colour-blind Dr.CU-like router's output on the ISPD-2019-like suite —
-//!   conflicts and stitches.
+//! * [`render_table2`] / [`render_table3`] — the paper's Table II/III as
+//!   plain text, now thin presets over the harness matrix runner.
+//! * [`cli`] — argument parsing and text rendering of the `mrtpl-bench`
+//!   binary, which subsumes the `table2`/`table3` bins.
+//! * Re-exported flow functions ([`prepare_case`], [`run_mrtpl`], …) used by
+//!   the Criterion benches to iterate on a pre-generated case.
 
 #![warn(missing_docs)]
 
-use mrtpl_core::{MrTplConfig, MrTplRouter};
-use std::time::Instant;
-use tpl_dac12::{Dac12Config, Dac12Router};
-use tpl_decompose::{DecomposeConfig, Decomposer};
-use tpl_design::{Design, RouteGuides};
-use tpl_drcu::{DrCuConfig, DrCuRouter};
-use tpl_global::{GlobalConfig, GlobalRouter};
-use tpl_ispd::{score_solution, CaseParams, ScoreWeights};
-use tpl_metrics::{format_table, CaseRecord, SuiteSummary, TableRow};
+pub mod cli;
 
-/// Generates a case and its route guides (the part shared by every method).
-pub fn prepare_case(params: &CaseParams) -> (Design, RouteGuides) {
-    let design = params.generate();
-    let guides = GlobalRouter::new(GlobalConfig::default()).route(&design);
-    (design, guides)
+pub use tpl_harness::flows::{prepare_case, run_dac12, run_decompose, run_drcu, run_mrtpl};
+
+use tpl_harness::{run_matrix, JobRecord, MethodRegistry, RunOptions};
+use tpl_ispd::{run_suite, Suite};
+use tpl_metrics::{format_table, safe_speedup, CaseRecord, SuiteSummary, TableRow};
+
+/// Runs a baseline-vs-Mr.TPL preset over one suite through the harness.
+///
+/// Returns one entry per requested case index (all ten when `cases` is
+/// empty), pairing the index with the (baseline, ours) records — `None` when
+/// either job of that case failed, so rows never shift against their labels.
+fn run_preset(
+    suite: Suite,
+    baseline: &str,
+    cases: &[usize],
+    scale: f64,
+    jobs: usize,
+) -> Vec<(usize, Option<(CaseRecord, CaseRecord)>)> {
+    let registry = MethodRegistry::builtin();
+    let methods = registry
+        .select(&format!("{baseline},mrtpl"))
+        .expect("preset methods are built in");
+    let indices: Vec<usize> = if cases.is_empty() {
+        (1..=10).collect()
+    } else {
+        cases.to_vec()
+    };
+    let params = run_suite(suite, &indices, scale);
+    let options = RunOptions {
+        jobs,
+        deterministic: false,
+    };
+    let records: Vec<JobRecord> = run_matrix(&methods, &params, &options);
+    indices
+        .into_iter()
+        .zip(records.chunks(2))
+        .map(|(idx, pair)| {
+            let paired = match (pair[0].record(), pair[1].record()) {
+                (Some(b), Some(o)) => Some((b.clone(), o.clone())),
+                _ => None,
+            };
+            (idx, paired)
+        })
+        .collect()
 }
 
-/// Runs Mr.TPL on a prepared case.
-pub fn run_mrtpl(
-    design: &Design,
-    guides: &RouteGuides,
-    config: &MrTplConfig,
-) -> (CaseRecord, mrtpl_core::MrTplResult) {
-    let result = MrTplRouter::new(*config).route(design, guides);
-    let cost = score_solution(design, guides, &result.solution, &ScoreWeights::default());
-    (
-        CaseRecord {
-            case: design.name().to_string(),
-            conflicts: result.stats.conflicts,
-            stitches: result.stats.stitches,
-            cost: cost.total(),
-            runtime_seconds: result.stats.runtime_seconds,
-        },
-        result,
-    )
-}
-
-/// Runs the DAC'12 baseline on a prepared case.
-pub fn run_dac12(
-    design: &Design,
-    guides: &RouteGuides,
-    config: &Dac12Config,
-) -> (CaseRecord, tpl_dac12::Dac12Result) {
-    let result = Dac12Router::new(*config).route(design, guides);
-    let cost = score_solution(design, guides, &result.solution, &ScoreWeights::default());
-    (
-        CaseRecord {
-            case: design.name().to_string(),
-            conflicts: result.stats.conflicts,
-            stitches: result.stats.stitches,
-            cost: cost.total(),
-            runtime_seconds: result.stats.runtime_seconds,
-        },
-        result,
-    )
-}
-
-/// Runs the Dr.CU-like colour-blind router followed by the OpenMPL-style
-/// decomposition on a prepared case.
-pub fn run_decompose(
-    design: &Design,
-    guides: &RouteGuides,
-    route_config: &DrCuConfig,
-    decompose_config: &DecomposeConfig,
-) -> (CaseRecord, tpl_decompose::DecomposeResult) {
-    let start = Instant::now();
-    let routed = DrCuRouter::new(*route_config).route(design, guides);
-    let result = Decomposer::new(*decompose_config).decompose(design, &routed.solution);
-    let cost = score_solution(design, guides, &routed.solution, &ScoreWeights::default());
-    (
-        CaseRecord {
-            case: design.name().to_string(),
-            conflicts: result.stats.conflicts,
-            stitches: result.stats.stitches,
-            cost: cost.total(),
-            runtime_seconds: start.elapsed().as_secs_f64(),
-        },
-        result,
-    )
+/// A table row of `-` placeholders for a case whose jobs failed.
+fn failed_row(idx: usize, num_cols: usize) -> TableRow {
+    let mut cells = vec![format!("test{idx}"), "FAILED".to_string()];
+    cells.resize(num_cols, "-".to_string());
+    TableRow { cells }
 }
 
 /// Renders Table II (Mr.TPL vs DAC'12) for the given ISPD-2018-like case
-/// indices, optionally scaled down.
-pub fn render_table2(cases: &[usize], scale: f64) -> String {
+/// indices (all ten when empty), optionally scaled down, fanning cases over
+/// `jobs` workers.
+pub fn render_table2(cases: &[usize], scale: f64, jobs: usize) -> String {
     let mut baseline_rows = Vec::new();
     let mut ours_rows = Vec::new();
     let mut rows = Vec::new();
-    for &idx in cases {
-        let params = scaled_case(CaseParams::ispd18_like(idx), scale);
-        let (design, guides) = prepare_case(&params);
-        let (dac, _) = run_dac12(&design, &guides, &Dac12Config::default());
-        let (ours, _) = run_mrtpl(&design, &guides, &MrTplConfig::default());
+    for (idx, pair) in run_preset(Suite::Ispd18, "dac12", cases, scale, jobs) {
+        let Some((dac, ours)) = pair else {
+            rows.push(failed_row(idx, 10));
+            continue;
+        };
         rows.push(TableRow::new([
             format!("test{idx}"),
             dac.conflicts.to_string(),
@@ -117,7 +92,7 @@ pub fn render_table2(cases: &[usize], scale: f64) -> String {
             format!("{:.2}", ours.runtime_seconds),
             format!(
                 "{:.2}x",
-                tpl_metrics::safe_speedup(dac.runtime_seconds, ours.runtime_seconds)
+                safe_speedup(dac.runtime_seconds, ours.runtime_seconds)
             ),
         ]));
         baseline_rows.push(dac);
@@ -140,7 +115,7 @@ pub fn render_table2(cases: &[usize], scale: f64) -> String {
         &rows,
     );
     out.push_str(&format!(
-        "\navg: conflicts {:.2} -> {:.2} (improvement {:.2}%), stitches {:.2} -> {:.2} ({:.2}%), cost improvement {:.2}%, speedup {:.2}x\n",
+        "\navg: conflicts {:.2} -> {:.2} (improvement {:.2}%), stitches {:.2} -> {:.2} ({:.2}%), cost improvement {:.2}%, speedup {:.2}x (geomean {:.2}x)\n",
         summary.baseline_conflicts,
         summary.ours_conflicts,
         summary.conflict_improvement,
@@ -149,26 +124,23 @@ pub fn render_table2(cases: &[usize], scale: f64) -> String {
         summary.stitch_improvement,
         summary.cost_improvement,
         summary.speedup,
+        summary.geomean_speedup,
     ));
     out
 }
 
 /// Renders Table III (Mr.TPL vs OpenMPL-style decomposition) for the given
-/// ISPD-2019-like case indices, optionally scaled down.
-pub fn render_table3(cases: &[usize], scale: f64) -> String {
+/// ISPD-2019-like case indices (all ten when empty), optionally scaled down,
+/// fanning cases over `jobs` workers.
+pub fn render_table3(cases: &[usize], scale: f64, jobs: usize) -> String {
     let mut baseline_rows = Vec::new();
     let mut ours_rows = Vec::new();
     let mut rows = Vec::new();
-    for &idx in cases {
-        let params = scaled_case(CaseParams::ispd19_like(idx), scale);
-        let (design, guides) = prepare_case(&params);
-        let (decomp, _) = run_decompose(
-            &design,
-            &guides,
-            &DrCuConfig::default(),
-            &DecomposeConfig::default(),
-        );
-        let (ours, _) = run_mrtpl(&design, &guides, &MrTplConfig::default());
+    for (idx, pair) in run_preset(Suite::Ispd19, "decompose", cases, scale, jobs) {
+        let Some((decomp, ours)) = pair else {
+            rows.push(failed_row(idx, 5));
+            continue;
+        };
         rows.push(TableRow::new([
             format!("test{idx}"),
             decomp.conflicts.to_string(),
@@ -202,36 +174,41 @@ pub fn render_table3(cases: &[usize], scale: f64) -> String {
     out
 }
 
-fn scaled_case(params: CaseParams, scale: f64) -> CaseParams {
-    if (scale - 1.0).abs() < f64::EPSILON {
-        params
-    } else {
-        params.scaled(scale)
-    }
-}
-
-/// Parses the common `[case indices...] [--scale s]` CLI arguments of the
-/// table binaries.  With no explicit cases, all ten are run.
-pub fn parse_cli(args: impl Iterator<Item = String>) -> (Vec<usize>, f64) {
+/// Parses the common `[case indices...] [--scale s] [--jobs n]` CLI arguments
+/// of the table binaries.  With no explicit cases, all ten are run.
+///
+/// Case tokens outside `1..=10` are silently ignored (historic behaviour);
+/// a missing or unparsable `--scale`/`--jobs` value is an error so a flag
+/// can never be swallowed as another flag's value.
+pub fn parse_cli(args: impl Iterator<Item = String>) -> Result<(Vec<usize>, f64, usize), String> {
     let mut cases = Vec::new();
     let mut scale = 1.0;
-    let mut expect_scale = false;
+    let mut jobs = 1usize;
+    let mut expect = None::<&str>;
     for arg in args {
-        if expect_scale {
-            scale = arg.parse().unwrap_or(1.0);
-            expect_scale = false;
-        } else if arg == "--scale" {
-            expect_scale = true;
-        } else if let Ok(idx) = arg.parse::<usize>() {
-            if (1..=10).contains(&idx) {
-                cases.push(idx);
+        match expect.take() {
+            Some("scale") => scale = cli::parse_scale_value(&arg)?,
+            Some("jobs") => jobs = cli::parse_jobs_value(&arg)?,
+            _ => {
+                if arg == "--scale" {
+                    expect = Some("scale");
+                } else if arg == "--jobs" {
+                    expect = Some("jobs");
+                } else if let Ok(idx) = arg.parse::<usize>() {
+                    if (1..=10).contains(&idx) {
+                        cases.push(idx);
+                    }
+                }
             }
         }
+    }
+    if let Some(flag) = expect {
+        return Err(format!("missing value after --{flag}"));
     }
     if cases.is_empty() {
         cases = (1..=10).collect();
     }
-    (cases, scale)
+    Ok((cases, scale, jobs))
 }
 
 #[cfg(test)]
@@ -240,30 +217,45 @@ mod tests {
 
     #[test]
     fn cli_parsing_defaults_to_all_cases() {
-        let (cases, scale) = parse_cli(Vec::<String>::new().into_iter());
+        let (cases, scale, jobs) = parse_cli(Vec::<String>::new().into_iter()).unwrap();
         assert_eq!(cases, (1..=10).collect::<Vec<_>>());
         assert_eq!(scale, 1.0);
+        assert_eq!(jobs, 1);
     }
 
     #[test]
-    fn cli_parsing_reads_cases_and_scale() {
-        let args = ["3", "5", "--scale", "0.5", "99"].map(String::from);
-        let (cases, scale) = parse_cli(args.into_iter());
+    fn cli_parsing_reads_cases_scale_and_jobs() {
+        let args = ["3", "5", "--scale", "0.5", "--jobs", "4", "99"].map(String::from);
+        let (cases, scale, jobs) = parse_cli(args.into_iter()).unwrap();
         assert_eq!(cases, vec![3, 5]);
         assert_eq!(scale, 0.5);
+        assert_eq!(jobs, 4);
+    }
+
+    #[test]
+    fn cli_parsing_rejects_bad_or_missing_flag_values() {
+        let parse = |args: &[&str]| parse_cli(args.iter().map(|s| s.to_string()));
+        // A flag is never swallowed as another flag's value.
+        assert!(parse(&["--scale", "--jobs", "4"])
+            .unwrap_err()
+            .contains("--scale"));
+        assert!(parse(&["--jobs"]).unwrap_err().contains("missing value"));
+        assert!(parse(&["--scale", "-1"]).unwrap_err().contains("--scale"));
+        assert!(parse(&["--jobs", "0"]).unwrap_err().contains("--jobs"));
     }
 
     #[test]
     fn table2_runs_on_a_tiny_case() {
-        let text = render_table2(&[1], 0.3);
+        let text = render_table2(&[1], 0.3, 2);
         assert!(text.contains("test1"));
         assert!(text.contains("speedup"));
         assert!(text.contains("avg:"));
+        assert!(text.contains("geomean"));
     }
 
     #[test]
     fn table3_runs_on_a_tiny_case() {
-        let text = render_table3(&[1], 0.3);
+        let text = render_table3(&[1], 0.3, 1);
         assert!(text.contains("test1"));
         assert!(text.contains("avg:"));
     }

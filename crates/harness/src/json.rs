@@ -1,0 +1,159 @@
+//! A minimal hand-rolled JSON value and writer (no serde).
+//!
+//! The build environment has no crates.io access, so report serialisation is
+//! done with this ~100-line subset: enough to emit deterministic,
+//! pretty-printed, spec-valid JSON.  Object keys keep insertion order, so the
+//! same report always renders to the same bytes.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null` (also used for non-finite floats, which JSON cannot represent).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (covers every count in a report).
+    UInt(u64),
+    /// A double; non-finite values render as `null`.
+    Float(f64),
+    /// A string, escaped on render.
+    Str(String),
+    /// An ordered array.
+    Array(Vec<JsonValue>),
+    /// An object whose keys keep insertion order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Convenience constructor for strings.
+    pub fn str(s: impl Into<String>) -> JsonValue {
+        JsonValue::Str(s.into())
+    }
+
+    /// Renders the value as pretty-printed JSON with two-space indentation
+    /// and a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            JsonValue::Float(x) => {
+                if x.is_finite() {
+                    let _ = write!(out, "{x}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => write_escaped(out, s),
+            JsonValue::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, depth + 1);
+                    item.write(out, depth + 1);
+                }
+                newline_indent(out, depth);
+                out.push(']');
+            }
+            JsonValue::Object(entries) => {
+                if entries.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, depth + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, depth + 1);
+                }
+                newline_indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, depth: usize) {
+    out.push('\n');
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render_as_json() {
+        assert_eq!(JsonValue::Null.render(), "null\n");
+        assert_eq!(JsonValue::Bool(true).render(), "true\n");
+        assert_eq!(JsonValue::UInt(42).render(), "42\n");
+        assert_eq!(JsonValue::Float(1.5).render(), "1.5\n");
+        assert_eq!(JsonValue::Float(f64::NAN).render(), "null\n");
+        assert_eq!(JsonValue::Float(f64::INFINITY).render(), "null\n");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let s = JsonValue::str("a\"b\\c\nd\u{1}");
+        assert_eq!(s.render(), "\"a\\\"b\\\\c\\nd\\u0001\"\n");
+    }
+
+    #[test]
+    fn nested_structures_indent_deterministically() {
+        let value = JsonValue::Object(vec![
+            ("empty".to_string(), JsonValue::Array(vec![])),
+            (
+                "records".to_string(),
+                JsonValue::Array(vec![JsonValue::Object(vec![(
+                    "case".to_string(),
+                    JsonValue::str("test1"),
+                )])]),
+            ),
+        ]);
+        let expected = "{\n  \"empty\": [],\n  \"records\": [\n    {\n      \"case\": \"test1\"\n    }\n  ]\n}\n";
+        assert_eq!(value.render(), expected);
+        // Rendering twice produces identical bytes.
+        assert_eq!(value.render(), value.render());
+    }
+}

@@ -1,0 +1,359 @@
+//! Machine-readable run reports.
+//!
+//! [`RunReport`] bundles the scheduler's records with the run configuration
+//! and renders them as deterministic JSON (schema below) via the hand-rolled
+//! [`json`](crate::json) module.  The plain-text paper tables stay in
+//! `tpl-metrics`/`tpl-bench`; this is the format CI and downstream tooling
+//! consume.
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "tool": "mrtpl-bench",
+//!   "suite": "ispd18",
+//!   "scale": 1.0,
+//!   "jobs": 8,
+//!   "deterministic": false,
+//!   "methods": ["dac12", "mrtpl"],
+//!   "records": [
+//!     {
+//!       "method": "dac12",
+//!       "case": "ispd18_like_test1",
+//!       "status": "ok",
+//!       "conflicts": 0,
+//!       "stitches": 12,
+//!       "cost": 31415.9,
+//!       "runtime_seconds": 0.42
+//!     },
+//!     { "method": "mrtpl", "case": "...", "status": "failed", "error": "..." }
+//!   ],
+//!   "totals": { "dac12": { "cases": 10, "failed": 0, "conflicts": 3, ... } },
+//!   "geomean_speedup_vs_dac12": { "mrtpl": 1.7 }
+//! }
+//! ```
+
+use crate::json::JsonValue;
+use crate::scheduler::{JobOutcome, JobRecord};
+use tpl_metrics::{geomean_speedup, CaseRecord, SuiteTotals};
+
+/// One suite run: configuration plus the scheduler's records in input order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunReport {
+    /// Suite name (`ispd18` / `ispd19`), as reported by the CLI.
+    pub suite: String,
+    /// Scale factor the cases were generated at.
+    pub scale: f64,
+    /// Worker-thread count of the run.
+    pub jobs: usize,
+    /// Whether wall-clock fields were zeroed for byte-stable output.
+    pub deterministic: bool,
+    /// Method names in run order (the first is the comparison baseline).
+    pub methods: Vec<String>,
+    /// Per-job records, case-major in input order.
+    pub records: Vec<JobRecord>,
+}
+
+impl RunReport {
+    /// Successful records of one method, in case order.
+    pub fn records_of(&self, method: &str) -> Vec<CaseRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.method == method)
+            .filter_map(|r| r.record().cloned())
+            .collect()
+    }
+
+    /// Number of failed jobs of one method.
+    pub fn failures_of(&self, method: &str) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.method == method && r.error().is_some())
+            .count()
+    }
+
+    /// Per-case record pairs of two methods matched by case name (in the
+    /// baseline's case order), skipping cases where either side failed — so
+    /// ratios never compare records of different cases.  Each record pairs at
+    /// most once: a case run twice pairs its first occurrences, then its
+    /// second ones.
+    pub fn paired_records(&self, baseline: &str, ours: &str) -> (Vec<CaseRecord>, Vec<CaseRecord>) {
+        let mut our_records: Vec<Option<CaseRecord>> =
+            self.records_of(ours).into_iter().map(Some).collect();
+        let mut base = Vec::new();
+        let mut matched = Vec::new();
+        for b in self.records_of(baseline) {
+            let hit = our_records
+                .iter_mut()
+                .find(|o| o.as_ref().is_some_and(|o| o.case == b.case));
+            if let Some(slot) = hit {
+                matched.push(slot.take().expect("slot matched as Some"));
+                base.push(b);
+            }
+        }
+        (base, matched)
+    }
+
+    /// Renders the report as pretty-printed JSON (see the module docs for the
+    /// schema).  Output is deterministic: same report, same bytes.
+    ///
+    /// A deterministic-mode report omits the `jobs` field (the one value that
+    /// legitimately differs between otherwise-identical runs), so two
+    /// `--deterministic` reports of the same matrix are byte-identical
+    /// whatever `--jobs` was.
+    pub fn to_json(&self) -> String {
+        let mut root = vec![
+            ("schema_version".to_string(), JsonValue::UInt(1)),
+            ("tool".to_string(), JsonValue::str("mrtpl-bench")),
+            ("suite".to_string(), JsonValue::str(&self.suite)),
+            ("scale".to_string(), JsonValue::Float(self.scale)),
+        ];
+        if !self.deterministic {
+            root.push(("jobs".to_string(), JsonValue::UInt(self.jobs as u64)));
+        }
+        root.extend([
+            (
+                "deterministic".to_string(),
+                JsonValue::Bool(self.deterministic),
+            ),
+            (
+                "methods".to_string(),
+                JsonValue::Array(self.methods.iter().map(JsonValue::str).collect()),
+            ),
+            (
+                "records".to_string(),
+                JsonValue::Array(self.records.iter().map(record_json).collect()),
+            ),
+            (
+                "totals".to_string(),
+                JsonValue::Object(
+                    self.methods
+                        .iter()
+                        .map(|m| (m.clone(), totals_json(self, m)))
+                        .collect(),
+                ),
+            ),
+        ]);
+        // With wall-clock fields zeroed there is no speedup to report — a
+        // literal 0x would read as "never finished", so the section is
+        // omitted rather than emitted as zeros.
+        if self.methods.len() > 1 && !self.deterministic {
+            let baseline = &self.methods[0];
+            let entries: Vec<(String, JsonValue)> = self.methods[1..]
+                .iter()
+                .map(|m| {
+                    let (base, ours) = self.paired_records(baseline, m);
+                    (m.clone(), JsonValue::Float(geomean_speedup(&base, &ours)))
+                })
+                .collect();
+            root.push((
+                format!("geomean_speedup_vs_{baseline}"),
+                JsonValue::Object(entries),
+            ));
+        }
+        JsonValue::Object(root).render()
+    }
+}
+
+fn record_json(record: &JobRecord) -> JsonValue {
+    let mut entries = vec![
+        ("method".to_string(), JsonValue::str(&record.method)),
+        ("case".to_string(), JsonValue::str(&record.case)),
+    ];
+    match &record.outcome {
+        JobOutcome::Ok(r) => {
+            entries.push(("status".to_string(), JsonValue::str("ok")));
+            entries.push(("conflicts".to_string(), JsonValue::UInt(r.conflicts as u64)));
+            entries.push(("stitches".to_string(), JsonValue::UInt(r.stitches as u64)));
+            entries.push(("cost".to_string(), JsonValue::Float(r.cost)));
+            entries.push((
+                "runtime_seconds".to_string(),
+                JsonValue::Float(r.runtime_seconds),
+            ));
+        }
+        JobOutcome::Failed { error } => {
+            entries.push(("status".to_string(), JsonValue::str("failed")));
+            entries.push(("error".to_string(), JsonValue::str(error)));
+        }
+    }
+    JsonValue::Object(entries)
+}
+
+fn totals_json(report: &RunReport, method: &str) -> JsonValue {
+    let totals = SuiteTotals::from_records(&report.records_of(method));
+    JsonValue::Object(vec![
+        ("cases".to_string(), JsonValue::UInt(totals.cases as u64)),
+        (
+            "failed".to_string(),
+            JsonValue::UInt(report.failures_of(method) as u64),
+        ),
+        (
+            "conflicts".to_string(),
+            JsonValue::UInt(totals.conflicts as u64),
+        ),
+        (
+            "stitches".to_string(),
+            JsonValue::UInt(totals.stitches as u64),
+        ),
+        ("cost".to_string(), JsonValue::Float(totals.cost)),
+        (
+            "runtime_seconds".to_string(),
+            JsonValue::Float(totals.runtime_seconds),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok(method: &str, case: &str, conflicts: usize, rt: f64) -> JobRecord {
+        JobRecord {
+            method: method.to_string(),
+            case: case.to_string(),
+            outcome: JobOutcome::Ok(CaseRecord {
+                case: case.to_string(),
+                conflicts,
+                stitches: 2 * conflicts,
+                cost: 10.0 * conflicts as f64,
+                runtime_seconds: rt,
+            }),
+        }
+    }
+
+    fn failed(method: &str, case: &str) -> JobRecord {
+        JobRecord {
+            method: method.to_string(),
+            case: case.to_string(),
+            outcome: JobOutcome::Failed {
+                error: "boom \"quoted\"".to_string(),
+            },
+        }
+    }
+
+    fn sample() -> RunReport {
+        RunReport {
+            suite: "ispd18".to_string(),
+            scale: 0.5,
+            jobs: 4,
+            deterministic: false,
+            methods: vec!["dac12".to_string(), "mrtpl".to_string()],
+            records: vec![
+                ok("dac12", "t1", 4, 4.0),
+                ok("mrtpl", "t1", 1, 1.0),
+                ok("dac12", "t2", 2, 2.0),
+                failed("mrtpl", "t2"),
+            ],
+        }
+    }
+
+    #[test]
+    fn accessors_split_records_by_method() {
+        let report = sample();
+        assert_eq!(report.records_of("dac12").len(), 2);
+        assert_eq!(report.records_of("mrtpl").len(), 1);
+        assert_eq!(report.failures_of("mrtpl"), 1);
+        assert_eq!(report.failures_of("dac12"), 0);
+    }
+
+    #[test]
+    fn json_has_schema_fields_and_escapes_errors() {
+        let json = sample().to_json();
+        for needle in [
+            "\"schema_version\": 1",
+            "\"tool\": \"mrtpl-bench\"",
+            "\"suite\": \"ispd18\"",
+            "\"jobs\": 4",
+            "\"status\": \"ok\"",
+            "\"status\": \"failed\"",
+            "\"error\": \"boom \\\"quoted\\\"\"",
+            "\"totals\"",
+            "\"geomean_speedup_vs_dac12\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+        // Balanced braces/brackets, i.e. structurally sound output.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_is_byte_deterministic() {
+        assert_eq!(sample().to_json(), sample().to_json());
+    }
+
+    #[test]
+    fn speedup_pairs_by_case_name_and_skips_failed_cases() {
+        let report = sample();
+        // mrtpl failed on t2, so only t1 pairs: 4.0s / 1.0s = 4x.
+        let (base, ours) = report.paired_records("dac12", "mrtpl");
+        assert_eq!(base.len(), 1);
+        assert_eq!(base[0].case, "t1");
+        assert_eq!(ours[0].case, "t1");
+        assert!(report.to_json().contains("\"mrtpl\": 4"));
+    }
+
+    #[test]
+    fn duplicate_cases_pair_positionally_not_by_first_match() {
+        // The same case run twice: each ours record must pair exactly once.
+        let report = RunReport {
+            suite: "s".to_string(),
+            scale: 1.0,
+            jobs: 1,
+            deterministic: false,
+            methods: vec!["base".to_string(), "ours".to_string()],
+            records: vec![
+                ok("base", "t1", 1, 8.0),
+                ok("ours", "t1", 1, 2.0),
+                ok("base", "t1", 1, 6.0),
+                ok("ours", "t1", 1, 3.0),
+            ],
+        };
+        let (base, ours) = report.paired_records("base", "ours");
+        assert_eq!(base.len(), 2);
+        assert_eq!(ours[0].runtime_seconds, 2.0);
+        assert_eq!(ours[1].runtime_seconds, 3.0);
+        // Geomean of 4x and 2x, not of 4x and 3x.
+        assert!((geomean_speedup(&base, &ours) - 8.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_reports_omit_jobs_and_speedup() {
+        let mut report = sample();
+        assert!(report.to_json().contains("\"jobs\": 4"));
+        assert!(report.to_json().contains("geomean_speedup_vs_dac12"));
+        report.deterministic = true;
+        let a = report.to_json();
+        // Zeroed wall-clock makes both meaningless; neither is emitted.
+        assert!(!a.contains("\"jobs\""));
+        assert!(!a.contains("geomean_speedup"));
+        report.jobs = 8;
+        // Same matrix, different worker count: byte-identical.
+        assert_eq!(a, report.to_json());
+    }
+
+    #[test]
+    fn disjoint_failures_never_pair_different_cases() {
+        // Baseline fails on t1, ours fails on t2: equal record counts, but
+        // the only shared successful case is t3.
+        let report = RunReport {
+            suite: "s".to_string(),
+            scale: 1.0,
+            jobs: 1,
+            deterministic: false,
+            methods: vec!["base".to_string(), "ours".to_string()],
+            records: vec![
+                failed("base", "t1"),
+                ok("ours", "t1", 1, 1.0),
+                ok("base", "t2", 1, 8.0),
+                failed("ours", "t2"),
+                ok("base", "t3", 1, 6.0),
+                ok("ours", "t3", 1, 2.0),
+            ],
+        };
+        let (base, ours) = report.paired_records("base", "ours");
+        assert_eq!(base.len(), 1);
+        assert_eq!(base[0].case, "t3");
+        assert_eq!(ours[0].case, "t3");
+        assert!((geomean_speedup(&base, &ours) - 3.0).abs() < 1e-12);
+    }
+}

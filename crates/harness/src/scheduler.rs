@@ -1,0 +1,396 @@
+//! The deterministic multi-threaded matrix scheduler.
+//!
+//! [`run_matrix`] fans a method × case matrix out over `jobs` worker threads
+//! built on [`std::thread::scope`] — no thread pool crate, no channels.  The
+//! job list is the case-major cross product of the inputs, workers claim jobs
+//! through one atomic cursor, and every result lands in the slot of its job
+//! index, so the returned `Vec<JobRecord>` is always in input order no matter
+//! how many workers ran or in which order they finished.
+//!
+//! Each job runs under [`std::panic::catch_unwind`]: a crashing method/case
+//! pair becomes a [`JobOutcome::Failed`] record instead of killing the run.
+
+use crate::flows;
+use crate::Method;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use tpl_design::{Design, RouteGuides};
+use tpl_ispd::CaseParams;
+use tpl_metrics::CaseRecord;
+
+/// The lazily-shared preparation of one case, dropped after its last method.
+struct CaseSlot {
+    /// Methods of this case that have not finished yet; the worker that
+    /// drops it to zero also drops the prepared data, so peak memory stays
+    /// at the number of cases in flight rather than the whole suite.
+    remaining: AtomicUsize,
+    data: Mutex<Option<Arc<(Design, RouteGuides)>>>,
+}
+
+/// Recovers the guard from a poisoned lock: the panic that poisoned it has
+/// already been recorded as that job's failure, and the protected data
+/// (either still-empty or fully prepared) is valid either way.
+fn lock_ignoring_poison<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// One case of the matrix, with its generated design and route guides shared
+/// lazily across every method that runs on it.
+///
+/// The first method of a case to call [`get`](PreparedCase::get) pays for
+/// generation and global routing; the other methods reuse the result.  The
+/// preparation is deterministic, so sharing cannot change any record.
+pub struct PreparedCase<'a> {
+    case: &'a CaseParams,
+    slot: &'a CaseSlot,
+}
+
+impl PreparedCase<'_> {
+    /// The parameters of this case.
+    pub fn case(&self) -> &CaseParams {
+        self.case
+    }
+
+    /// The generated design and its route guides, built on first use.
+    pub fn get(&self) -> Arc<(Design, RouteGuides)> {
+        let mut guard = lock_ignoring_poison(&self.slot.data);
+        if let Some(prepared) = guard.as_ref() {
+            return prepared.clone();
+        }
+        let prepared = Arc::new(flows::prepare_case(self.case));
+        *guard = Some(prepared.clone());
+        prepared
+    }
+}
+
+/// Execution options of one matrix run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunOptions {
+    /// Number of worker threads (clamped to at least 1 and at most the number
+    /// of jobs in the matrix).
+    pub jobs: usize,
+    /// Zero out wall-clock fields in the records so two runs of the same
+    /// matrix produce byte-identical reports (used by `--deterministic` and
+    /// the determinism tests; conflict/stitch/cost columns are always
+    /// deterministic).
+    pub deterministic: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            jobs: 1,
+            deterministic: false,
+        }
+    }
+}
+
+/// How one (method, case) job ended.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobOutcome {
+    /// The method completed and produced a record.
+    Ok(CaseRecord),
+    /// The method panicked; the payload is the panic message.
+    Failed {
+        /// The panic message (or a placeholder for non-string payloads).
+        error: String,
+    },
+}
+
+/// The scheduler's result for one (method, case) job.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobRecord {
+    /// Name of the method that ran.
+    pub method: String,
+    /// Name of the case it ran on.
+    pub case: String,
+    /// Whether it produced a record or crashed.
+    pub outcome: JobOutcome,
+}
+
+impl JobRecord {
+    /// The case record, if the job succeeded.
+    pub fn record(&self) -> Option<&CaseRecord> {
+        match &self.outcome {
+            JobOutcome::Ok(record) => Some(record),
+            JobOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// The panic message, if the job failed.
+    pub fn error(&self) -> Option<&str> {
+        match &self.outcome {
+            JobOutcome::Ok(_) => None,
+            JobOutcome::Failed { error } => Some(error),
+        }
+    }
+}
+
+/// Runs every method on every case and collects records in input order.
+///
+/// The job list is case-major: all methods of `cases[0]`, then all methods of
+/// `cases[1]`, and so on — the order a per-case comparison table wants.
+/// Record order and every non-wall-clock field are independent of
+/// `options.jobs`; with `options.deterministic` set (runtime fields zeroed)
+/// records are byte-for-byte independent of it.
+pub fn run_matrix(
+    methods: &[&dyn Method],
+    cases: &[CaseParams],
+    options: &RunOptions,
+) -> Vec<JobRecord> {
+    let jobs: Vec<(usize, usize)> = cases
+        .iter()
+        .enumerate()
+        .flat_map(|(c, _)| (0..methods.len()).map(move |m| (m, c)))
+        .collect();
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    let workers = options.jobs.clamp(1, jobs.len());
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<JobRecord>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    let prepared: Vec<CaseSlot> = cases
+        .iter()
+        .map(|_| CaseSlot {
+            remaining: AtomicUsize::new(methods.len()),
+            data: Mutex::new(None),
+        })
+        .collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                if index >= jobs.len() {
+                    break;
+                }
+                let (m, c) = jobs[index];
+                let case = PreparedCase {
+                    case: &cases[c],
+                    slot: &prepared[c],
+                };
+                let record = run_job(methods[m], &case, options);
+                if prepared[c].remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    lock_ignoring_poison(&prepared[c].data).take();
+                }
+                *slots[index].lock().unwrap() = Some(record);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("every job slot is filled before the scope ends")
+        })
+        .collect()
+}
+
+/// Runs one (method, case) job with panic isolation.  Case preparation runs
+/// inside the same isolation, so a crash while generating a case also
+/// becomes a failed record.
+fn run_job(method: &dyn Method, case: &PreparedCase, options: &RunOptions) -> JobRecord {
+    let outcome = match catch_unwind(AssertUnwindSafe(|| method.run(case))) {
+        Ok(mut record) => {
+            if options.deterministic {
+                record.runtime_seconds = 0.0;
+            }
+            JobOutcome::Ok(record)
+        }
+        Err(payload) => JobOutcome::Failed {
+            error: panic_message(payload.as_ref()),
+        },
+    };
+    JobRecord {
+        method: method.name().to_string(),
+        case: case.case().name.clone(),
+        outcome,
+    }
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A cheap deterministic stub: the record is a pure function of the case
+    /// parameters, no routing involved.
+    struct Stub {
+        name: &'static str,
+        weight: usize,
+    }
+
+    impl Method for Stub {
+        fn name(&self) -> &'static str {
+            self.name
+        }
+
+        fn description(&self) -> &'static str {
+            "test stub"
+        }
+
+        fn run(&self, case: &PreparedCase) -> CaseRecord {
+            let case = case.case();
+            CaseRecord {
+                case: case.name.clone(),
+                conflicts: case.num_nets * self.weight,
+                stitches: case.name.len(),
+                cost: case.num_nets as f64 * 1.5,
+                runtime_seconds: 0.25,
+            }
+        }
+    }
+
+    struct PanicsOn {
+        substring: &'static str,
+    }
+
+    impl Method for PanicsOn {
+        fn name(&self) -> &'static str {
+            "panics"
+        }
+
+        fn description(&self) -> &'static str {
+            "test stub that panics on matching cases"
+        }
+
+        fn run(&self, case: &PreparedCase) -> CaseRecord {
+            let case = case.case();
+            assert!(
+                !case.name.contains(self.substring),
+                "injected failure on {}",
+                case.name
+            );
+            CaseRecord {
+                case: case.name.clone(),
+                ..CaseRecord::default()
+            }
+        }
+    }
+
+    fn tiny_cases(n: usize) -> Vec<CaseParams> {
+        (1..=n).map(CaseParams::ispd18_like).collect()
+    }
+
+    #[test]
+    fn empty_matrix_yields_no_records() {
+        let options = RunOptions::default();
+        assert!(run_matrix(&[], &tiny_cases(3), &options).is_empty());
+        let stub = Stub {
+            name: "a",
+            weight: 1,
+        };
+        assert!(run_matrix(&[&stub], &[], &options).is_empty());
+    }
+
+    #[test]
+    fn records_are_case_major_in_input_order() {
+        let a = Stub {
+            name: "a",
+            weight: 1,
+        };
+        let b = Stub {
+            name: "b",
+            weight: 2,
+        };
+        let cases = tiny_cases(3);
+        let records = run_matrix(
+            &[&a, &b],
+            &cases,
+            &RunOptions {
+                jobs: 4,
+                deterministic: false,
+            },
+        );
+        assert_eq!(records.len(), 6);
+        for (i, record) in records.iter().enumerate() {
+            assert_eq!(record.method, if i % 2 == 0 { "a" } else { "b" });
+            assert_eq!(record.case, cases[i / 2].name);
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_records() {
+        let a = Stub {
+            name: "a",
+            weight: 3,
+        };
+        let b = Stub {
+            name: "b",
+            weight: 7,
+        };
+        let cases = tiny_cases(10);
+        let baseline = run_matrix(
+            &[&a, &b],
+            &cases,
+            &RunOptions {
+                jobs: 1,
+                deterministic: false,
+            },
+        );
+        for jobs in [2, 5, 16, 64] {
+            let parallel = run_matrix(
+                &[&a, &b],
+                &cases,
+                &RunOptions {
+                    jobs,
+                    deterministic: false,
+                },
+            );
+            assert_eq!(baseline, parallel, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn deterministic_mode_zeroes_runtime() {
+        let a = Stub {
+            name: "a",
+            weight: 1,
+        };
+        let records = run_matrix(
+            &[&a],
+            &tiny_cases(2),
+            &RunOptions {
+                jobs: 2,
+                deterministic: true,
+            },
+        );
+        for record in records {
+            assert_eq!(record.record().unwrap().runtime_seconds, 0.0);
+        }
+    }
+
+    #[test]
+    fn a_panicking_job_becomes_a_failed_record() {
+        let good = Stub {
+            name: "a",
+            weight: 1,
+        };
+        let bad = PanicsOn { substring: "test2" };
+        let cases = tiny_cases(3);
+        let records = run_matrix(&[&good, &bad], &cases, &RunOptions::default());
+        assert_eq!(records.len(), 6);
+        let failed: Vec<&JobRecord> = records.iter().filter(|r| r.error().is_some()).collect();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].method, "panics");
+        assert!(failed[0].case.contains("test2"));
+        assert!(failed[0].error().unwrap().contains("injected failure"));
+        // Every other job still produced a record.
+        assert_eq!(records.iter().filter(|r| r.record().is_some()).count(), 5);
+    }
+}

@@ -33,4 +33,4 @@ mod suite;
 pub use generator::generate_design;
 pub use params::CaseParams;
 pub use score::{score_solution, CostBreakdown, ScoreWeights};
-pub use suite::{ispd18_suite, ispd19_suite};
+pub use suite::{ispd18_suite, ispd19_suite, run_suite, Suite};

@@ -11,7 +11,9 @@ mod report;
 mod summary;
 
 pub use report::{format_table, TableRow};
-pub use summary::{improvement_percent, safe_speedup, CaseRecord, SuiteSummary};
+pub use summary::{
+    geomean_speedup, improvement_percent, safe_speedup, CaseRecord, SuiteSummary, SuiteTotals,
+};
 
 use tpl_color::{ColoredLayout, Feature, Mask};
 use tpl_design::{Design, NetId, RoutingSolution};

@@ -37,6 +37,64 @@ pub fn safe_speedup(baseline_seconds: f64, ours_seconds: f64) -> f64 {
     }
 }
 
+/// Column-wise totals of a whole suite for one method, the "sum" half of the
+/// paper's "Average" row.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SuiteTotals {
+    /// Number of cases summed.
+    pub cases: usize,
+    /// Total colour conflicts.
+    pub conflicts: usize,
+    /// Total stitches.
+    pub stitches: usize,
+    /// Total ISPD-style cost.
+    pub cost: f64,
+    /// Total wall-clock runtime in seconds.
+    pub runtime_seconds: f64,
+}
+
+impl SuiteTotals {
+    /// Sums the records of one method over a suite.
+    pub fn from_records(records: &[CaseRecord]) -> SuiteTotals {
+        let mut totals = SuiteTotals {
+            cases: records.len(),
+            ..SuiteTotals::default()
+        };
+        for r in records {
+            totals.conflicts += r.conflicts;
+            totals.stitches += r.stitches;
+            totals.cost += r.cost;
+            totals.runtime_seconds += r.runtime_seconds;
+        }
+        totals
+    }
+}
+
+/// Geometric-mean runtime ratio `baseline / ours` over paired records, the
+/// way the paper's "Average" row aggregates speedups.
+///
+/// Pairs where either runtime is non-positive are skipped (a zero wall-clock
+/// has no meaningful ratio); if no pair remains the result is `0.0`, matching
+/// the zero-baseline convention of [`improvement_percent`].
+///
+/// # Panics
+///
+/// Panics if the two slices have different lengths.
+pub fn geomean_speedup(baseline: &[CaseRecord], ours: &[CaseRecord]) -> f64 {
+    assert_eq!(baseline.len(), ours.len(), "paired records required");
+    let ratios: Vec<f64> = baseline
+        .iter()
+        .zip(ours.iter())
+        .filter(|(b, o)| b.runtime_seconds > 0.0 && o.runtime_seconds > 0.0)
+        .map(|(b, o)| (b.runtime_seconds / o.runtime_seconds).ln())
+        .collect();
+    if ratios.is_empty() {
+        0.0
+    } else {
+        (ratios.iter().sum::<f64>() / ratios.len() as f64).exp()
+    }
+}
+
 /// Aggregate of a whole suite: average improvements over all cases where the
 /// baseline has data, exactly like the `avg.` row of the paper's tables.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -58,6 +116,8 @@ pub struct SuiteSummary {
     pub cost_improvement: f64,
     /// Mean speedup (baseline runtime / ours).
     pub speedup: f64,
+    /// Geometric-mean speedup over cases where both runtimes are positive.
+    pub geomean_speedup: f64,
 }
 
 impl SuiteSummary {
@@ -111,6 +171,7 @@ impl SuiteSummary {
             stitch_improvement: avg_improvement(&|r| r.stitches as f64),
             cost_improvement: avg_improvement(&|r| r.cost),
             speedup: avg_speedup,
+            geomean_speedup: geomean_speedup(baseline, ours),
         }
     }
 }
@@ -165,5 +226,67 @@ mod tests {
     #[should_panic(expected = "paired records")]
     fn summary_requires_paired_records() {
         SuiteSummary::from_records(&[], &[rec("x", 0, 0, 0.0, 0.0)]);
+    }
+
+    #[test]
+    fn zero_baseline_reports_zero_improvement_regardless_of_ours() {
+        // The paper marks zero-baseline entries "no comparison": the
+        // improvement is 0 whether ours is also zero, better-than-nothing
+        // impossible, or strictly worse.
+        assert_eq!(improvement_percent(0.0, 0.0), 0.0);
+        assert_eq!(improvement_percent(0.0, 1.0), 0.0);
+        assert_eq!(improvement_percent(0.0, 1.0e9), 0.0);
+        // A non-zero baseline with a zero ours is a full 100% improvement.
+        assert_eq!(improvement_percent(7.0, 0.0), 100.0);
+    }
+
+    #[test]
+    fn all_zero_baselines_yield_zero_suite_improvement() {
+        let baseline = vec![rec("t1", 0, 0, 0.0, 0.0), rec("t2", 0, 0, 0.0, 0.0)];
+        let ours = vec![rec("t1", 3, 1, 5.0, 1.0), rec("t2", 4, 2, 6.0, 1.0)];
+        let s = SuiteSummary::from_records(&baseline, &ours);
+        assert_eq!(s.conflict_improvement, 0.0);
+        assert_eq!(s.stitch_improvement, 0.0);
+        assert_eq!(s.cost_improvement, 0.0);
+        assert_eq!(s.speedup, 0.0);
+        assert_eq!(s.geomean_speedup, 0.0);
+    }
+
+    #[test]
+    fn totals_sum_every_column() {
+        let t = SuiteTotals::from_records(&[
+            rec("t1", 2, 10, 100.0, 1.5),
+            rec("t2", 3, 20, 200.0, 2.5),
+        ]);
+        assert_eq!(
+            t,
+            SuiteTotals {
+                cases: 2,
+                conflicts: 5,
+                stitches: 30,
+                cost: 300.0,
+                runtime_seconds: 4.0,
+            }
+        );
+        assert_eq!(SuiteTotals::from_records(&[]), SuiteTotals::default());
+    }
+
+    #[test]
+    fn geomean_speedup_is_the_geometric_mean_of_ratios() {
+        let baseline = vec![rec("t1", 0, 0, 0.0, 8.0), rec("t2", 0, 0, 0.0, 2.0)];
+        let ours = vec![rec("t1", 0, 0, 0.0, 2.0), rec("t2", 0, 0, 0.0, 1.0)];
+        // Ratios 4 and 2 -> geomean sqrt(8).
+        assert!((geomean_speedup(&baseline, &ours) - 8.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_speedup_skips_non_positive_runtimes() {
+        let baseline = vec![rec("t1", 0, 0, 0.0, 0.0), rec("t2", 0, 0, 0.0, 6.0)];
+        let ours = vec![rec("t1", 0, 0, 0.0, 1.0), rec("t2", 0, 0, 0.0, 2.0)];
+        assert!((geomean_speedup(&baseline, &ours) - 3.0).abs() < 1e-12);
+        // No valid pair at all -> 0, the zero-baseline convention.
+        let zeros = vec![rec("t1", 0, 0, 0.0, 0.0)];
+        let ones = vec![rec("t1", 0, 0, 0.0, 1.0)];
+        assert_eq!(geomean_speedup(&zeros, &ones), 0.0);
     }
 }

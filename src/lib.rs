@@ -15,6 +15,8 @@
 //! * [`decompose`] — the OpenMPL-like layout decomposition baseline.
 //! * [`core`] — Mr.TPL itself (the paper's contribution).
 //! * [`metrics`] — evaluation metrics and table reporting.
+//! * [`harness`] — the parallel, deterministic suite-execution engine behind
+//!   the `mrtpl-bench` CLI (method registry, scheduler, JSON reports).
 //!
 //! # Examples
 //!
@@ -38,6 +40,7 @@ pub use tpl_drcu as drcu;
 pub use tpl_geom as geom;
 pub use tpl_global as global;
 pub use tpl_grid as grid;
+pub use tpl_harness as harness;
 pub use tpl_ispd as ispd;
 pub use tpl_metrics as metrics;
 
