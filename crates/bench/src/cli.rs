@@ -24,8 +24,10 @@ pub struct BenchArgs {
     pub methods: String,
     /// Scale factor applied to every case.
     pub scale: f64,
-    /// Worker-thread count.
+    /// Worker-thread count (cases × methods fan-out).
     pub jobs: usize,
+    /// Intra-case worker count (net-level parallelism inside each router).
+    pub net_jobs: usize,
     /// Output format.
     pub format: Format,
     /// Write the report to this path instead of stdout.
@@ -46,6 +48,7 @@ impl Default for BenchArgs {
             methods: "dac12,mrtpl".to_string(),
             scale: 1.0,
             jobs: 1,
+            net_jobs: 1,
             format: Format::Text,
             out: None,
             deterministic: false,
@@ -67,7 +70,9 @@ OPTIONS:
   --cases <LIST>            comma-separated case indices 1..=10 (default: all)
   --methods <LIST>          comma-separated methods (default: dac12,mrtpl)
   --scale <S>               case scale factor (default: 1.0)
-  --jobs <N>                worker threads (default: 1)
+  --jobs <N>                worker threads over the case matrix (default: 1)
+  --net-jobs <N>            worker threads inside each router; never changes
+                            results, only wall clock (default: 1)
   --format <text|json>      output format (default: text)
   --out <PATH>              write the report to a file instead of stdout
   --deterministic           zero wall-clock fields (byte-stable output)
@@ -118,6 +123,7 @@ pub fn parse_bench_args(args: impl Iterator<Item = String>) -> Result<BenchArgs,
             "--methods" => parsed.methods = take("--methods")?,
             "--scale" => parsed.scale = parse_scale_value(&take("--scale")?)?,
             "--jobs" => parsed.jobs = parse_jobs_value(&take("--jobs")?)?,
+            "--net-jobs" => parsed.net_jobs = parse_jobs_value(&take("--net-jobs")?)?,
             "--format" => {
                 let v = take("--format")?;
                 parsed.format = match v.as_str() {
@@ -157,6 +163,7 @@ pub fn execute(args: &BenchArgs) -> Result<RunReport, String> {
     let cases = run_suite(args.suite, &args.cases, args.scale);
     let options = RunOptions {
         jobs: args.jobs,
+        net_jobs: args.net_jobs,
         deterministic: args.deterministic,
     };
     let records = run_matrix(&methods, &cases, &options);
@@ -164,6 +171,7 @@ pub fn execute(args: &BenchArgs) -> Result<RunReport, String> {
         suite: args.suite.name().to_string(),
         scale: args.scale,
         jobs: args.jobs,
+        net_jobs: args.net_jobs,
         deterministic: args.deterministic,
         methods: methods.iter().map(|m| m.name().to_string()).collect(),
         records,
@@ -273,6 +281,8 @@ mod tests {
             "0.5",
             "--jobs",
             "8",
+            "--net-jobs",
+            "4",
             "--format",
             "json",
             "--out",
@@ -285,6 +295,7 @@ mod tests {
         assert_eq!(args.methods, "decompose,mrtpl");
         assert_eq!(args.scale, 0.5);
         assert_eq!(args.jobs, 8);
+        assert_eq!(args.net_jobs, 4);
         assert_eq!(args.format, Format::Json);
         assert_eq!(args.out.as_deref(), Some("report.json"));
         assert!(args.deterministic);
@@ -299,6 +310,7 @@ mod tests {
         assert!(parse(&["--scale", "inf"]).unwrap_err().contains("scale"));
         assert!(parse(&["--scale", "NaN"]).unwrap_err().contains("scale"));
         assert!(parse(&["--jobs", "0"]).unwrap_err().contains("job"));
+        assert!(parse(&["--net-jobs", "0"]).unwrap_err().contains("job"));
         assert!(parse(&["--format", "xml"]).unwrap_err().contains("format"));
         assert!(parse(&["--scale"]).unwrap_err().contains("missing value"));
         assert!(parse(&["--frobnicate"]).unwrap_err().contains("unknown"));

@@ -45,7 +45,7 @@ fn run_preset(
     let params = run_suite(suite, &indices, scale);
     let options = RunOptions {
         jobs,
-        deterministic: false,
+        ..RunOptions::default()
     };
     let records: Vec<JobRecord> = run_matrix(&methods, &params, &options);
     indices

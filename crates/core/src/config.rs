@@ -1,6 +1,7 @@
 //! Configuration and statistics of the Mr.TPL router.
 
 use tpl_grid::CostParams;
+use tpl_par::Parallelism;
 
 /// How the searcher treats colour candidates during expansion.
 ///
@@ -40,6 +41,11 @@ pub struct MrTplConfig {
     pub history_increment: f64,
     /// Search policy (set-based states vs greedy single colour).
     pub policy: SearchPolicy,
+    /// Intra-case net-level parallelism.  Nets of one rip-up-and-reroute
+    /// iteration are partitioned into conflict-free batches routed against
+    /// frozen shared state, so the result is identical for every worker
+    /// count (`jobs = 1` runs the same batched algorithm inline).
+    pub parallelism: Parallelism,
 }
 
 impl Default for MrTplConfig {
@@ -52,6 +58,7 @@ impl Default for MrTplConfig {
             max_rrr_iterations: 5,
             history_increment: 60.0,
             policy: SearchPolicy::ColorStateSet,
+            parallelism: Parallelism::sequential(),
         }
     }
 }
@@ -69,6 +76,9 @@ pub struct MrTplStats {
     pub failed_nets: usize,
     /// Total number of segSets created (one mask decision each).
     pub seg_sets: usize,
+    /// Total heap pops across all colour-state searches (search effort,
+    /// independent of wall clock and worker count).
+    pub search_nodes: usize,
     /// Wall-clock routing time in seconds.
     pub runtime_seconds: f64,
     /// Conflict count measured after each routing pass (index 0 = initial

@@ -9,6 +9,7 @@ use std::time::Instant;
 use tpl_color::{ColorMap, ColorSetArena, ColorState, ColoredLayout, Feature, Mask};
 use tpl_design::{Design, NetId, PinId, RouteGuides, RoutingSolution};
 use tpl_grid::{GridGraph, GridState, PinCoverage, VertexId};
+use tpl_par::{par_map_pooled, plan_batches, Region, ScratchPool};
 
 /// The result of a Mr.TPL routing run.
 #[derive(Clone, Debug)]
@@ -42,6 +43,14 @@ impl MrTplRouter {
     }
 
     /// Routes and colours every net of the design inside the given guides.
+    ///
+    /// Each rip-up-and-reroute iteration rips up every queued net, partitions
+    /// the queue into conflict-free batches (nets whose influence regions are
+    /// disjoint), routes each batch against frozen shared state on
+    /// `config.parallelism.jobs` workers and commits the results at the batch
+    /// barrier in deterministic net order.  Because every task is a pure
+    /// function of the frozen state, the outcome is identical for every
+    /// worker count; `jobs = 1` runs the same batched algorithm inline.
     pub fn route(&self, design: &Design, guides: &RouteGuides) -> MrTplResult {
         let start = Instant::now();
         let grid = GridGraph::build(design);
@@ -52,8 +61,8 @@ impl MrTplRouter {
             design.tech().num_layers(),
             design.tech().dcolor(),
         );
-        let mut buffers = NetBuffers::new(grid.num_vertices());
-        let mut cache = ColorCostCache::new(&grid);
+        let par = self.config.parallelism;
+        let pool: ScratchPool<(NetBuffers, ColorCostCache)> = ScratchPool::new(par);
 
         let mut solution = RoutingSolution::new(design.nets().len());
         let mut segment_masks: Vec<Vec<Option<Mask>>> = vec![Vec::new(); design.nets().len()];
@@ -73,54 +82,90 @@ impl MrTplRouter {
             )
         });
 
+        // Influence margin for batch planning: nets whose bounding boxes
+        // expanded by this stay disjoint cannot interact within dcolor even
+        // after detouring a couple of tracks.
+        let margin = design.tech().dcolor() + 2 * grid.pitch();
+
         let mut to_route: Vec<NetId> = order.clone();
         for iteration in 0..=self.config.max_rrr_iterations {
             stats.rrr_iterations = iteration;
             stats.failed_nets = 0;
+
+            // Rip up every queued net before any of them reroutes, so all
+            // tasks of this iteration start from the same committed state.
             for &net_id in &to_route {
-                // Rip up stale state of this net.
-                gstate.release_net(net_id);
+                gstate.release_vertices(&net_vertices[net_id.index()], net_id);
                 map.remove_net(net_id);
                 solution.rip_up(net_id);
                 segment_masks[net_id.index()].clear();
                 net_vertices[net_id.index()].clear();
+            }
 
-                let (colored, vertices, complete) = self.route_net(
-                    design,
-                    &grid,
-                    &coverage,
-                    &gstate,
-                    &mut buffers,
-                    &mut cache,
-                    &map,
-                    guides,
-                    net_id,
-                );
-                if !complete {
-                    stats.failed_nets += 1;
-                }
-                total_seg_sets += colored.seg_sets;
+            let regions: Vec<Region> = to_route
+                .iter()
+                .map(|id| {
+                    let r = design
+                        .net_bbox(*id)
+                        .unwrap_or(design.die())
+                        .expanded(margin);
+                    Region::new(r.lo.x, r.lo.y, r.hi.x, r.hi.y)
+                })
+                .collect();
 
-                // Commit: occupancy, colour map, solution.
-                for &v in &vertices {
-                    gstate.occupy(v, net_id);
-                }
-                for (seg, mask) in colored
-                    .routed
-                    .segments
-                    .iter()
-                    .zip(colored.segment_masks.iter())
+            for batch in plan_batches(&regions) {
+                let nets: Vec<NetId> = batch.iter().map(|&i| to_route[i]).collect();
+                let routed = par_map_pooled(
+                    par,
+                    &nets,
+                    &pool,
+                    || {
+                        (
+                            NetBuffers::new(grid.num_vertices()),
+                            ColorCostCache::new(&grid),
+                        )
+                    },
+                    |(buffers, cache), &net_id| {
+                        let out = self.route_net(
+                            design, &grid, &coverage, &gstate, buffers, cache, &map, guides, net_id,
+                        );
+                        let nodes = buffers.nodes_popped();
+                        (out, nodes)
+                    },
+                )
+                .unwrap_or_else(|p| panic!("{p}"));
+
+                // Barrier: commit occupancy, colour map and solution in net
+                // order, identically for every worker count.
+                for (net_id, ((colored, vertices, complete), nodes)) in
+                    nets.iter().copied().zip(routed)
                 {
-                    map.insert(Feature::wire(net_id, seg.layer, seg.rect(), *mask));
-                }
-                for (pin, mask) in &colored.pin_masks {
-                    for (layer, rect) in design.pin(*pin).shapes() {
-                        map.insert(Feature::pin(net_id, *layer, *rect, *mask));
+                    if !complete {
+                        stats.failed_nets += 1;
                     }
+                    stats.search_nodes += nodes;
+                    total_seg_sets += colored.seg_sets;
+
+                    for &v in &vertices {
+                        gstate.occupy(v, net_id);
+                    }
+                    for (seg, mask) in colored
+                        .routed
+                        .segments
+                        .iter()
+                        .zip(colored.segment_masks.iter())
+                    {
+                        map.insert(Feature::wire(net_id, seg.layer, seg.rect(), *mask));
+                    }
+                    for (pin, mask) in &colored.pin_masks {
+                        for (layer, rect) in design.pin(*pin).shapes() {
+                            map.insert(Feature::pin(net_id, *layer, *rect, *mask));
+                        }
+                    }
+                    segment_masks[net_id.index()] = colored.segment_masks;
+                    net_vertices[net_id.index()] = vertices;
+                    solution.set(net_id, colored.routed);
                 }
-                segment_masks[net_id.index()] = colored.segment_masks;
-                net_vertices[net_id.index()] = vertices;
-                solution.set(net_id, colored.routed);
             }
 
             // Conflict detection on the committed colour map.
@@ -357,6 +402,30 @@ mod tests {
         assert_eq!(a.stats.conflicts, b.stats.conflicts);
         assert_eq!(a.stats.stitches, b.stats.stitches);
         assert_eq!(a.solution.total_wirelength(), b.solution.total_wirelength());
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_result() {
+        let design = CaseParams::ispd18_like(1).scaled(0.3).generate();
+        let guides = GlobalRouter::new(GlobalConfig::default()).route(&design);
+        let base = MrTplRouter::new(MrTplConfig::default()).route(&design, &guides);
+        for jobs in [2, 4, 8] {
+            let par = MrTplRouter::new(MrTplConfig {
+                parallelism: tpl_par::Parallelism::new(jobs),
+                ..MrTplConfig::default()
+            })
+            .route(&design, &guides);
+            assert_eq!(
+                par.solution.total_wirelength(),
+                base.solution.total_wirelength(),
+                "wirelength at jobs={jobs}"
+            );
+            assert_eq!(par.solution.total_vias(), base.solution.total_vias());
+            assert_eq!(par.stats.conflicts, base.stats.conflicts);
+            assert_eq!(par.stats.stitches, base.stats.stitches);
+            assert_eq!(par.stats.search_nodes, base.stats.search_nodes);
+            assert_eq!(par.segment_masks, base.segment_masks);
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::collections::BinaryHeap;
 use tpl_color::{ColorMap, ColorState, Mask};
 use tpl_design::{Design, NetId, PinId, RouteGuides};
 use tpl_geom::Dir;
-use tpl_grid::{GridGraph, GridState, PinCoverage, VertexId};
+use tpl_grid::{DenseBitSet, GridGraph, GridState, PinCoverage, VertexId};
 
 /// Per-vertex search bookkeeping with two levels of epoch invalidation:
 /// per-search (distance, predecessor, colour state) and per-net (verSet
@@ -22,6 +22,7 @@ pub struct NetBuffers {
     net_epoch: u32,
     net_stamp: Vec<u32>,
     ver_set: Vec<u32>,
+    nodes_popped: usize,
 }
 
 impl NetBuffers {
@@ -36,12 +37,23 @@ impl NetBuffers {
             net_epoch: 0,
             net_stamp: vec![0; num_vertices],
             ver_set: vec![u32::MAX; num_vertices],
+            nodes_popped: 0,
         }
     }
 
-    /// Starts routing a new net: all verSet pointers become stale.
+    /// Starts routing a new net: all verSet pointers become stale and the
+    /// search-node counter restarts from zero.
     pub fn begin_net(&mut self) {
         self.net_epoch += 1;
+        self.nodes_popped = 0;
+    }
+
+    /// Heap pops performed by [`search`] since the last
+    /// [`begin_net`](Self::begin_net) — the search-effort counter reported as
+    /// `search_nodes` in run statistics.
+    #[inline]
+    pub fn nodes_popped(&self) -> usize {
+        self.nodes_popped
     }
 
     /// Starts a new pin-to-tree search within the current net.
@@ -128,22 +140,22 @@ pub struct SearchContext<'a> {
     /// The net being routed.
     pub net: NetId,
     /// Whether each vertex lies inside the net's route guide.
-    pub in_guide: &'a [bool],
+    pub in_guide: &'a DenseBitSet,
     /// Already-coloured features of other nets.
     pub map: &'a ColorMap,
 }
 
 impl<'a> SearchContext<'a> {
     /// Per-net guide membership (nets without guide regions are free).
-    pub fn guide_membership(grid: &GridGraph, guides: &RouteGuides, net: NetId) -> Vec<bool> {
+    pub fn guide_membership(grid: &GridGraph, guides: &RouteGuides, net: NetId) -> DenseBitSet {
         let regions = guides.regions(net);
         if regions.is_empty() {
-            return vec![true; grid.num_vertices()];
+            return DenseBitSet::full(grid.num_vertices());
         }
-        let mut mask = vec![false; grid.num_vertices()];
+        let mut mask = DenseBitSet::new(grid.num_vertices());
         for region in regions {
             for v in grid.vertices_in_rect(region.layer, &region.rect) {
-                mask[v.index()] = true;
+                mask.insert(v.index());
             }
         }
         mask
@@ -166,7 +178,7 @@ impl<'a> SearchContext<'a> {
         if dir.is_planar() && self.grid.layer_of(to).index() == 0 {
             c *= cost.base_layer_mult;
         }
-        if !self.in_guide[to.index()] {
+        if !self.in_guide.get(to.index()) {
             c += cost.out_of_guide * self.grid.pitch() as f64;
         }
         if self.state.is_occupied_by_other(to, self.net) {
@@ -249,6 +261,7 @@ pub fn search(
     };
 
     while let Some(Reverse((k, raw))) = heap.pop() {
+        buffers.nodes_popped += 1;
         let v = VertexId::new(raw);
         let d = buffers.dist(v);
         if key(d) < k {
@@ -317,7 +330,7 @@ mod tests {
         }
     }
 
-    fn ctx<'a>(f: &'a Fixture, in_guide: &'a [bool]) -> SearchContext<'a> {
+    fn ctx<'a>(f: &'a Fixture, in_guide: &'a DenseBitSet) -> SearchContext<'a> {
         SearchContext {
             grid: &f.grid,
             state: &f.gstate,
@@ -333,7 +346,7 @@ mod tests {
     #[test]
     fn search_reaches_the_second_pin_with_full_color_state() {
         let f = fixture();
-        let in_guide = vec![true; f.grid.num_vertices()];
+        let in_guide = DenseBitSet::full(f.grid.num_vertices());
         let c = ctx(&f, &in_guide);
         let mut buffers = NetBuffers::new(f.grid.num_vertices());
         let mut cache = ColorCostCache::new(&f.grid);
@@ -374,7 +387,7 @@ mod tests {
             Rect::from_coords(0, 26, 400, 34),
             Some(tpl_color::Mask::Red),
         ));
-        let in_guide = vec![true; f.grid.num_vertices()];
+        let in_guide = DenseBitSet::full(f.grid.num_vertices());
         let c = ctx(&f, &in_guide);
         let mut buffers = NetBuffers::new(f.grid.num_vertices());
         let mut cache = ColorCostCache::new(&f.grid);
@@ -401,7 +414,7 @@ mod tests {
     fn greedy_policy_keeps_a_single_candidate() {
         let mut f = fixture();
         f.config.policy = SearchPolicy::GreedySingleColor;
-        let in_guide = vec![true; f.grid.num_vertices()];
+        let in_guide = DenseBitSet::full(f.grid.num_vertices());
         let c = ctx(&f, &in_guide);
         let mut buffers = NetBuffers::new(f.grid.num_vertices());
         let mut cache = ColorCostCache::new(&f.grid);
@@ -421,7 +434,7 @@ mod tests {
     #[test]
     fn stitch_cost_is_charged_when_leaving_the_state() {
         let f = fixture();
-        let in_guide = vec![true; f.grid.num_vertices()];
+        let in_guide = DenseBitSet::full(f.grid.num_vertices());
         let c = ctx(&f, &in_guide);
         let mut cache = ColorCostCache::new(&f.grid);
         cache.begin_net();

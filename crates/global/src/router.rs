@@ -5,6 +5,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use tpl_design::{Design, LayerId, NetId, RouteGuides};
 use tpl_geom::Point;
+use tpl_par::{par_map, plan_batches, Parallelism, Region};
 
 /// Configuration of the global router.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -21,6 +22,15 @@ pub struct GlobalConfig {
     pub history_increment: f64,
     /// Number of gcells by which guides are expanded around the route.
     pub guide_expansion: usize,
+    /// Number of gcells the maze fallback may stray outside a net's terminal
+    /// bounding box.  Bounding the search keeps a net's demand confined to
+    /// its declared region (which makes conflict-free batches exact) and
+    /// prunes the Dijkstra frontier on large dies.
+    pub maze_margin: usize,
+    /// Intra-case net-level parallelism: nets with disjoint windows are
+    /// routed concurrently against frozen edge demand, with updates applied
+    /// at batch barriers.  The result is identical for every worker count.
+    pub parallelism: Parallelism,
 }
 
 impl Default for GlobalConfig {
@@ -32,6 +42,8 @@ impl Default for GlobalConfig {
             overflow_penalty: 8.0,
             history_increment: 2.0,
             guide_expansion: 1,
+            maze_margin: 8,
+            parallelism: Parallelism::sequential(),
         }
     }
 }
@@ -47,6 +59,17 @@ pub struct GlobalStats {
     pub pattern_routed: usize,
     /// Number of 2-pin connections that needed the maze fallback.
     pub maze_routed: usize,
+    /// Total heap pops across all maze searches (search effort, independent
+    /// of wall clock and worker count).
+    pub search_nodes: usize,
+}
+
+/// Per-net routing counters, merged into [`GlobalStats`] at batch barriers.
+#[derive(Clone, Copy, Debug, Default)]
+struct NetRouteStats {
+    pattern_routed: usize,
+    maze_routed: usize,
+    search_nodes: usize,
 }
 
 /// The gcell-based global router.
@@ -166,6 +189,14 @@ impl GlobalRouter {
     }
 
     /// Routes every net and also returns routing statistics.
+    ///
+    /// Each pass (the initial pass and every negotiation round) partitions
+    /// its queue into conflict-free batches — nets whose maze windows are
+    /// disjoint — routes each batch against frozen edge demand on
+    /// `config.parallelism.jobs` workers, and commits demand updates at the
+    /// batch barrier in deterministic net order.  Every per-net task is a
+    /// pure function of the frozen edge-demand map, so the result is identical
+    /// for every worker count (`jobs = 1` runs the same algorithm inline).
     pub fn route_with_stats(&self, design: &Design) -> (RouteGuides, GlobalStats) {
         let cfg = &self.config;
         let grid = GCellGrid::build(design, cfg.tracks_per_gcell);
@@ -186,33 +217,83 @@ impl GlobalRouter {
             (Reverse(bbox), id.index())
         });
 
+        // Terminal gcells are derived from the pin shapes exactly once per
+        // net, then reused by every routing pass and by the final guide
+        // conversion (which previously re-scanned all pins of the design).
+        let net_terminals: Vec<Vec<(usize, usize)>> = design
+            .nets()
+            .iter()
+            .map(|net| {
+                let mut terminals: Vec<(usize, usize)> = net
+                    .pins()
+                    .iter()
+                    .filter_map(|p| design.pin(*p).bbox())
+                    .map(|b| grid.cell_of(b.center()))
+                    .collect();
+                terminals.sort_unstable();
+                terminals.dedup();
+                terminals
+            })
+            .collect();
+
         // Each net is decomposed into MST edges over its pin centres.
         let mut net_paths: Vec<Vec<Vec<(usize, usize)>>> = vec![Vec::new(); design.nets().len()];
 
-        for &net_id in &order {
-            let paths = self.route_net(design, &grid, &mut edges, net_id, &mut stats);
-            net_paths[net_id.index()] = paths;
-        }
-
-        // Negotiation rounds: rip up nets crossing overflowed edges and
-        // reroute them with history cost in place.
-        for _ in 0..cfg.negotiation_rounds {
-            let overflowed = edges.bump_history_on_overflow(cfg.history_increment);
-            if overflowed == 0 {
-                break;
-            }
-            for &net_id in &order {
-                let crosses_overflow = net_paths[net_id.index()]
+        // Pass 0 routes everything; negotiation rounds rip up and reroute
+        // the nets crossing overflowed edges with history cost in place.
+        let mut queue: Vec<NetId> = order.clone();
+        for round in 0..=cfg.negotiation_rounds {
+            if round > 0 {
+                let overflowed = edges.bump_history_on_overflow(cfg.history_increment);
+                if overflowed == 0 {
+                    break;
+                }
+                let next: Vec<NetId> = order
                     .iter()
-                    .any(|p| edges.path_overflowed(p));
-                if !crosses_overflow {
-                    continue;
+                    .copied()
+                    .filter(|id| {
+                        net_paths[id.index()]
+                            .iter()
+                            .any(|p| edges.path_overflowed(p))
+                    })
+                    .collect();
+                if next.is_empty() {
+                    break;
                 }
-                for p in &net_paths[net_id.index()] {
-                    edges.add_path(p, -1);
+                for &net_id in &next {
+                    for p in &net_paths[net_id.index()] {
+                        edges.add_path(p, -1);
+                    }
+                    net_paths[net_id.index()].clear();
                 }
-                let paths = self.route_net(design, &grid, &mut edges, net_id, &mut stats);
-                net_paths[net_id.index()] = paths;
+                queue = next;
+            }
+
+            let regions: Vec<Region> = queue
+                .iter()
+                .map(|id| {
+                    let (x0, y0, x1, y1) = self.net_window(&grid, &net_terminals[id.index()]);
+                    Region::new(x0 as i64, y0 as i64, x1 as i64, y1 as i64)
+                })
+                .collect();
+
+            for batch in plan_batches(&regions) {
+                let nets: Vec<NetId> = batch.iter().map(|&i| queue[i]).collect();
+                let routed = par_map(cfg.parallelism, &nets, |&net_id| {
+                    self.route_net(&grid, &edges, &net_terminals[net_id.index()])
+                })
+                .unwrap_or_else(|p| panic!("{p}"));
+
+                // Barrier: commit demand and merge counters in net order.
+                for (net_id, (paths, net_stats)) in nets.iter().copied().zip(routed) {
+                    for p in &paths {
+                        edges.add_path(p, 1);
+                    }
+                    stats.pattern_routed += net_stats.pattern_routed;
+                    stats.maze_routed += net_stats.maze_routed;
+                    stats.search_nodes += net_stats.search_nodes;
+                    net_paths[net_id.index()] = paths;
+                }
             }
         }
 
@@ -228,20 +309,14 @@ impl GlobalRouter {
             .sum();
 
         // Convert paths into guides: the union of visited gcells expanded by
-        // `guide_expansion` cells, emitted on every routing layer.
+        // `guide_expansion` cells, emitted on every routing layer.  The pin
+        // gcells collected before routing are included so single-gcell nets
+        // still get a guide.
         let mut guides = RouteGuides::new(design.nets().len());
         for net in design.nets() {
-            let mut cells: Vec<(usize, usize)> = net_paths[net.id().index()]
-                .iter()
-                .flatten()
-                .copied()
-                .collect();
-            // Always include the pin gcells even for single-gcell nets.
-            for pin in net.pins() {
-                if let Some(b) = design.pin(*pin).bbox() {
-                    cells.push(grid.cell_of(b.center()));
-                }
-            }
+            let idx = net.id().index();
+            let mut cells: Vec<(usize, usize)> = net_paths[idx].iter().flatten().copied().collect();
+            cells.extend_from_slice(&net_terminals[idx]);
             cells.sort_unstable();
             cells.dedup();
             let e = cfg.guide_expansion;
@@ -257,48 +332,66 @@ impl GlobalRouter {
         (guides, stats)
     }
 
-    /// Routes one net: MST topology, then L-pattern or maze per 2-pin edge.
+    /// The rectangular gcell window a net's routing is confined to: its
+    /// terminal bounding box expanded by `maze_margin`, clamped to the grid.
+    fn net_window(
+        &self,
+        grid: &GCellGrid,
+        terminals: &[(usize, usize)],
+    ) -> (usize, usize, usize, usize) {
+        let Some(&(fx, fy)) = terminals.first() else {
+            return (0, 0, 0, 0);
+        };
+        let (mut x0, mut y0, mut x1, mut y1) = (fx, fy, fx, fy);
+        for &(x, y) in terminals {
+            x0 = x0.min(x);
+            y0 = y0.min(y);
+            x1 = x1.max(x);
+            y1 = y1.max(y);
+        }
+        let m = self.config.maze_margin;
+        (
+            x0.saturating_sub(m),
+            y0.saturating_sub(m),
+            (x1 + m).min(grid.nx() - 1),
+            (y1 + m).min(grid.ny() - 1),
+        )
+    }
+
+    /// Routes one net against a frozen edge map: MST topology, then
+    /// L-pattern or window-bounded maze per 2-pin edge.  Pure with respect
+    /// to `edges`, so nets of one batch can run concurrently.
     fn route_net(
         &self,
-        design: &Design,
         grid: &GCellGrid,
-        edges: &mut EdgeMap,
-        net_id: NetId,
-        stats: &mut GlobalStats,
-    ) -> Vec<Vec<(usize, usize)>> {
-        let net = design.net(net_id);
-        let mut terminals: Vec<(usize, usize)> = net
-            .pins()
-            .iter()
-            .filter_map(|p| design.pin(*p).bbox())
-            .map(|b| grid.cell_of(b.center()))
-            .collect();
-        terminals.sort_unstable();
-        terminals.dedup();
+        edges: &EdgeMap,
+        terminals: &[(usize, usize)],
+    ) -> (Vec<Vec<(usize, usize)>>, NetRouteStats) {
+        let mut net_stats = NetRouteStats::default();
         if terminals.len() < 2 {
-            return Vec::new();
+            return (Vec::new(), net_stats);
         }
-
-        let mst = minimum_spanning_tree(&terminals);
+        let window = self.net_window(grid, terminals);
+        let mst = minimum_spanning_tree(terminals);
         let mut paths = Vec::with_capacity(mst.len());
         for (a, b) in mst {
             let src = terminals[a];
             let dst = terminals[b];
-            let path = self.route_two_pin(grid, edges, src, dst, stats);
-            edges.add_path(&path, 1);
-            paths.push(path);
+            paths.push(self.route_two_pin(grid, edges, src, dst, window, &mut net_stats));
         }
-        paths
+        (paths, net_stats)
     }
 
     /// Routes a single 2-pin connection on the coarse grid.
+    #[allow(clippy::too_many_arguments)]
     fn route_two_pin(
         &self,
         grid: &GCellGrid,
         edges: &EdgeMap,
         src: (usize, usize),
         dst: (usize, usize),
-        stats: &mut GlobalStats,
+        window: (usize, usize, usize, usize),
+        net_stats: &mut NetRouteStats,
     ) -> Vec<(usize, usize)> {
         let cfg = &self.config;
         // Try both L shapes first.
@@ -310,12 +403,15 @@ impl GlobalRouter {
         // If the cheaper L avoids overflow entirely, take it.
         let clean_len = (best_l.0.len() as f64 - 1.0).max(0.0);
         if best_l.1 <= clean_len + 0.5 {
-            stats.pattern_routed += 1;
+            net_stats.pattern_routed += 1;
             return best_l.0;
         }
-        // Otherwise run a congestion-aware maze (Dijkstra) on the gcell grid.
-        stats.maze_routed += 1;
-        maze_route(grid, edges, src, dst, cfg).unwrap_or(best_l.0)
+        // Otherwise run a congestion-aware maze (Dijkstra) bounded to the
+        // net's window.
+        net_stats.maze_routed += 1;
+        let (path, nodes) = maze_route(grid, edges, src, dst, window, cfg);
+        net_stats.search_nodes += nodes;
+        path.unwrap_or(best_l.0)
     }
 }
 
@@ -404,15 +500,20 @@ fn path_cost(path: &[(usize, usize)], edges: &EdgeMap, cfg: &GlobalConfig) -> f6
     cost
 }
 
-/// Dijkstra on the gcell grid with congestion-aware edge costs.
+/// Dijkstra on the gcell grid with congestion-aware edge costs, confined to
+/// the `(x0, y0, x1, y1)` window (inclusive).  Any rectangular window is
+/// connected, so the search always succeeds when both endpoints lie inside
+/// it.  Also returns the number of heap pops (search effort).
 fn maze_route(
     grid: &GCellGrid,
     edges: &EdgeMap,
     src: (usize, usize),
     dst: (usize, usize),
+    window: (usize, usize, usize, usize),
     cfg: &GlobalConfig,
-) -> Option<Vec<(usize, usize)>> {
+) -> (Option<Vec<(usize, usize)>>, usize) {
     let n = grid.len();
+    let (wx0, wy0, wx1, wy1) = window;
     let mut dist = vec![f64::INFINITY; n];
     let mut prev = vec![usize::MAX; n];
     let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
@@ -421,8 +522,10 @@ fn maze_route(
     dist[start] = 0.0;
     heap.push(Reverse((0, start)));
     let key = |c: f64| (c * 1024.0) as u64;
+    let mut popped = 0usize;
 
     while let Some(Reverse((_, u))) = heap.pop() {
+        popped += 1;
         if u == goal {
             break;
         }
@@ -443,7 +546,7 @@ fn maze_route(
                 heap.push(Reverse((key(nd), v)));
             }
         };
-        if ux + 1 < grid.nx() {
+        if ux < wx1 {
             push(
                 ux + 1,
                 uy,
@@ -453,7 +556,7 @@ fn maze_route(
                 &mut prev,
             );
         }
-        if ux > 0 {
+        if ux > wx0 {
             push(
                 ux - 1,
                 uy,
@@ -463,7 +566,7 @@ fn maze_route(
                 &mut prev,
             );
         }
-        if uy + 1 < grid.ny() {
+        if uy < wy1 {
             push(
                 ux,
                 uy + 1,
@@ -473,7 +576,7 @@ fn maze_route(
                 &mut prev,
             );
         }
-        if uy > 0 {
+        if uy > wy0 {
             push(
                 ux,
                 uy - 1,
@@ -486,7 +589,7 @@ fn maze_route(
     }
 
     if dist[goal].is_infinite() {
-        return None;
+        return (None, popped);
     }
     let mut path = Vec::new();
     let mut cur = goal;
@@ -498,7 +601,7 @@ fn maze_route(
         cur = prev[cur];
     }
     path.reverse();
-    Some(path)
+    (Some(path), popped)
 }
 
 /// Convenience: the centre of a pin's bounding box (used by tests).
@@ -619,9 +722,65 @@ mod tests {
         let d = b.build().unwrap();
         let grid = GCellGrid::build(&d, 5);
         let edges = EdgeMap::new(grid.nx(), grid.ny(), 10);
-        let path = maze_route(&grid, &edges, (0, 0), (5, 5), &GlobalConfig::default()).unwrap();
+        let window = (0, 0, grid.nx() - 1, grid.ny() - 1);
+        let (path, nodes) = maze_route(
+            &grid,
+            &edges,
+            (0, 0),
+            (5, 5),
+            window,
+            &GlobalConfig::default(),
+        );
+        let path = path.unwrap();
         assert_eq!(path.len(), 11);
         assert_eq!(path[0], (0, 0));
         assert_eq!(*path.last().unwrap(), (5, 5));
+        assert!(nodes > 0);
+    }
+
+    #[test]
+    fn a_tight_window_prunes_the_search() {
+        let mut b = DesignBuilder::new(
+            "w",
+            Technology::ispd_like(3),
+            Rect::from_coords(0, 0, 1000, 1000),
+        );
+        let p0 = b.add_pin_shape("a", 0, Rect::from_coords(0, 0, 10, 10));
+        let p1 = b.add_pin_shape("b", 0, Rect::from_coords(900, 900, 910, 910));
+        b.add_net("n", vec![p0, p1]);
+        let d = b.build().unwrap();
+        let grid = GCellGrid::build(&d, 5);
+        let edges = EdgeMap::new(grid.nx(), grid.ny(), 10);
+        let cfg = GlobalConfig::default();
+        let full = (0, 0, grid.nx() - 1, grid.ny() - 1);
+        let (wide_path, wide_nodes) = maze_route(&grid, &edges, (0, 0), (5, 5), full, &cfg);
+        let (tight_path, tight_nodes) =
+            maze_route(&grid, &edges, (0, 0), (5, 5), (0, 0, 5, 5), &cfg);
+        // The bounded search finds an equally short path with fewer pops.
+        assert_eq!(
+            tight_path.as_ref().unwrap().len(),
+            wide_path.as_ref().unwrap().len()
+        );
+        assert!(tight_nodes <= wide_nodes);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_guides_or_stats() {
+        let design = CaseParams::ispd18_like(1).scaled(0.4).generate();
+        let (base_guides, base_stats) =
+            GlobalRouter::new(GlobalConfig::default()).route_with_stats(&design);
+        for jobs in [2, 4, 8] {
+            let cfg = GlobalConfig {
+                parallelism: Parallelism::new(jobs),
+                ..GlobalConfig::default()
+            };
+            let (guides, stats) = GlobalRouter::new(cfg).route_with_stats(&design);
+            assert_eq!(stats, base_stats, "stats at jobs={jobs}");
+            assert_eq!(
+                guides.total_regions(),
+                base_guides.total_regions(),
+                "guides at jobs={jobs}"
+            );
+        }
     }
 }

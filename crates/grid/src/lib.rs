@@ -25,12 +25,14 @@
 
 #![warn(missing_docs)]
 
+mod bitset;
 mod costs;
 mod graph;
 mod path;
 mod pins;
 mod state;
 
+pub use bitset::DenseBitSet;
 pub use costs::CostParams;
 pub use graph::{GridGraph, VertexId};
 pub use path::path_to_routed_net;

@@ -1,15 +1,24 @@
 //! Mutable per-vertex routing state (blockages, occupancy, history).
 
-use crate::{GridGraph, VertexId};
+use crate::{DenseBitSet, GridGraph, VertexId};
 use tpl_design::{Design, NetId};
+
+/// Sentinel for "no net occupies this vertex" in the dense occupancy array.
+const FREE: u32 = u32::MAX;
 
 /// Mutable state layered over a [`GridGraph`]: obstacle blockages, net
 /// occupancy of vertices, and the negotiation history cost used by rip-up
 /// and reroute.
+///
+/// All three components are dense, index-addressed arrays so that many
+/// search threads can read them concurrently without pointer chasing:
+/// blockages are one bit per vertex ([`DenseBitSet`]), occupancy is one
+/// sentinel-coded `u32` per vertex (half the footprint of
+/// `Option<NetId>`), and history is one `f64` per vertex.
 #[derive(Clone, Debug)]
 pub struct GridState {
-    blocked: Vec<bool>,
-    occupant: Vec<Option<NetId>>,
+    blocked: DenseBitSet,
+    occupant: Vec<u32>,
     history: Vec<f64>,
 }
 
@@ -22,7 +31,7 @@ impl GridState {
     /// (i.e. a wire centred on the vertex would violate spacing to the
     /// obstacle).
     pub fn new(grid: &GridGraph, design: &Design) -> Self {
-        let mut blocked = vec![false; grid.num_vertices()];
+        let mut blocked = DenseBitSet::new(grid.num_vertices());
         for obs in design.obstacles() {
             let layer = design.tech().layer(obs.layer);
             let margin = layer.width / 2 + layer.spacing - 1;
@@ -31,13 +40,13 @@ impl GridState {
                 // `vertices_in_rect` already adds a half-pitch halo for pin
                 // snapping; re-check the exact margin here.
                 if region.contains(&grid.point_of(v)) {
-                    blocked[v.index()] = true;
+                    blocked.insert(v.index());
                 }
             }
         }
         Self {
             blocked,
-            occupant: vec![None; grid.num_vertices()],
+            occupant: vec![FREE; grid.num_vertices()],
             history: vec![0.0; grid.num_vertices()],
         }
     }
@@ -45,34 +54,58 @@ impl GridState {
     /// `true` if the vertex is blocked by an obstacle.
     #[inline]
     pub fn is_blocked(&self, v: VertexId) -> bool {
-        self.blocked[v.index()]
+        self.blocked.get(v.index())
     }
 
     /// The net currently occupying the vertex, if any.
     #[inline]
     pub fn occupant(&self, v: VertexId) -> Option<NetId> {
-        self.occupant[v.index()]
+        match self.occupant[v.index()] {
+            FREE => None,
+            raw => Some(NetId::new(raw)),
+        }
     }
 
     /// `true` if the vertex is occupied by a net other than `net`.
     #[inline]
     pub fn is_occupied_by_other(&self, v: VertexId, net: NetId) -> bool {
-        matches!(self.occupant[v.index()], Some(o) if o != net)
+        let raw = self.occupant[v.index()];
+        raw != FREE && raw != net.0
     }
 
     /// Marks a vertex as used by a net (commit of a routed path).
     #[inline]
     pub fn occupy(&mut self, v: VertexId, net: NetId) {
-        self.occupant[v.index()] = Some(net);
+        debug_assert!(net.0 != FREE, "net id collides with the FREE sentinel");
+        self.occupant[v.index()] = net.0;
     }
 
     /// Releases every vertex owned by `net` (rip-up).  Returns the number of
     /// vertices released.
+    ///
+    /// This scans the whole grid; callers that track the vertices a net
+    /// occupies should prefer [`release_vertices`](Self::release_vertices),
+    /// which is `O(net)` instead of `O(grid)`.
     pub fn release_net(&mut self, net: NetId) -> usize {
         let mut released = 0;
         for slot in self.occupant.iter_mut() {
-            if *slot == Some(net) {
-                *slot = None;
+            if *slot == net.0 {
+                *slot = FREE;
+                released += 1;
+            }
+        }
+        released
+    }
+
+    /// Releases the given vertices if (and only if) `net` owns them,
+    /// returning the number released.  The `O(net)` rip-up used by routers
+    /// that remember each net's committed vertex list.
+    pub fn release_vertices(&mut self, vertices: &[VertexId], net: NetId) -> usize {
+        let mut released = 0;
+        for v in vertices {
+            let slot = &mut self.occupant[v.index()];
+            if *slot == net.0 {
+                *slot = FREE;
                 released += 1;
             }
         }
@@ -93,14 +126,12 @@ impl GridState {
 
     /// Clears all occupancy while keeping blockages and history.
     pub fn clear_occupancy(&mut self) {
-        for slot in self.occupant.iter_mut() {
-            *slot = None;
-        }
+        self.occupant.fill(FREE);
     }
 
     /// Number of occupied vertices (mostly useful for tests and reports).
     pub fn occupied_count(&self) -> usize {
-        self.occupant.iter().filter(|o| o.is_some()).count()
+        self.occupant.iter().filter(|o| **o != FREE).count()
     }
 }
 
@@ -155,6 +186,24 @@ mod tests {
         assert_eq!(s.occupied_count(), 1);
         assert_eq!(s.release_net(net), 1);
         assert_eq!(s.occupant(v), None);
+    }
+
+    #[test]
+    fn release_vertices_only_touches_the_owners_slots() {
+        let d = design_with_obstacle();
+        let g = GridGraph::build(&d);
+        let mut s = GridState::new(&g, &d);
+        let mine = g.vertex(0, 1, 1);
+        let theirs = g.vertex(0, 2, 2);
+        let stale = g.vertex(0, 3, 3);
+        s.occupy(mine, NetId::new(0));
+        s.occupy(theirs, NetId::new(1));
+        // Releasing a list that includes another net's vertex and a free one
+        // only frees our own.
+        assert_eq!(s.release_vertices(&[mine, theirs, stale], NetId::new(0)), 1);
+        assert_eq!(s.occupant(mine), None);
+        assert_eq!(s.occupant(theirs), Some(NetId::new(1)));
+        assert_eq!(s.occupied_count(), 1);
     }
 
     #[test]

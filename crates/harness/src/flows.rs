@@ -14,11 +14,24 @@ use tpl_drcu::{DrCuConfig, DrCuRouter};
 use tpl_global::{GlobalConfig, GlobalRouter};
 use tpl_ispd::{score_solution, CaseParams, ScoreWeights};
 use tpl_metrics::CaseRecord;
+use tpl_par::Parallelism;
 
 /// Generates a case and its route guides (the part shared by every method).
 pub fn prepare_case(params: &CaseParams) -> (Design, RouteGuides) {
+    prepare_case_parallel(params, 1)
+}
+
+/// Like [`prepare_case`], but routes the guides with `net_jobs` workers.
+///
+/// Guide generation is deterministic in the worker count (the global router
+/// commits batch results in net order), so this only changes wall clock.
+pub fn prepare_case_parallel(params: &CaseParams, net_jobs: usize) -> (Design, RouteGuides) {
     let design = params.generate();
-    let guides = GlobalRouter::new(GlobalConfig::default()).route(&design);
+    let config = GlobalConfig {
+        parallelism: Parallelism::new(net_jobs),
+        ..GlobalConfig::default()
+    };
+    let guides = GlobalRouter::new(config).route(&design);
     (design, guides)
 }
 
@@ -37,6 +50,10 @@ pub fn run_mrtpl(
             stitches: result.stats.stitches,
             cost: cost.total(),
             runtime_seconds: result.stats.runtime_seconds,
+            wirelength: result.solution.total_wirelength(),
+            vias: result.solution.total_vias(),
+            search_nodes: result.stats.search_nodes,
+            rrr_iterations: result.stats.rrr_iterations,
         },
         result,
     )
@@ -57,6 +74,10 @@ pub fn run_dac12(
             stitches: result.stats.stitches,
             cost: cost.total(),
             runtime_seconds: result.stats.runtime_seconds,
+            wirelength: result.solution.total_wirelength(),
+            vias: result.solution.total_vias(),
+            search_nodes: 0,
+            rrr_iterations: result.stats.rrr_iterations,
         },
         result,
     )
@@ -83,6 +104,10 @@ pub fn run_drcu(
             stitches: 0,
             cost: cost.total(),
             runtime_seconds,
+            wirelength: result.solution.total_wirelength(),
+            vias: result.solution.total_vias(),
+            search_nodes: 0,
+            rrr_iterations: result.stats.rrr_iterations,
         },
         result,
     )
@@ -110,6 +135,10 @@ pub fn run_decompose(
             stitches: result.stats.stitches,
             cost: cost.total(),
             runtime_seconds,
+            wirelength: routed.solution.total_wirelength(),
+            vias: routed.solution.total_vias(),
+            search_nodes: 0,
+            rrr_iterations: routed.stats.rrr_iterations,
         },
         result,
     )

@@ -1,9 +1,10 @@
-//! A minimal hand-rolled JSON value and writer (no serde).
+//! A minimal hand-rolled JSON value, writer and parser (no serde).
 //!
 //! The build environment has no crates.io access, so report serialisation is
-//! done with this ~100-line subset: enough to emit deterministic,
-//! pretty-printed, spec-valid JSON.  Object keys keep insertion order, so the
-//! same report always renders to the same bytes.
+//! done with this small subset: enough to emit deterministic, pretty-printed,
+//! spec-valid JSON, and to parse it back (for `bench-diff`, which compares two
+//! committed reports).  Object keys keep insertion order, so the same report
+//! always renders to the same bytes.
 
 use std::fmt::Write as _;
 
@@ -30,6 +31,61 @@ impl JsonValue {
     /// Convenience constructor for strings.
     pub fn str(s: impl Into<String>) -> JsonValue {
         JsonValue::Str(s.into())
+    }
+
+    /// Parses a JSON document.  Accepts exactly the subset [`render`]
+    /// emits (null, booleans, numbers, strings, arrays, objects) plus
+    /// arbitrary whitespace; numbers with a sign, fraction or exponent
+    /// parse as [`JsonValue::Float`], bare non-negative integers as
+    /// [`JsonValue::UInt`].  Trailing non-whitespace input is an error.
+    ///
+    /// [`render`]: JsonValue::render
+    pub fn parse(input: &str) -> Result<JsonValue, String> {
+        let mut parser = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_ws();
+        let value = parser.value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(format!("trailing input at byte {}", parser.pos));
+        }
+        Ok(value)
+    }
+
+    /// Looks a key up in an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array value; `None` for non-arrays.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The text of a string value; `None` for non-strings.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A numeric value as `f64` (both [`JsonValue::UInt`] and
+    /// [`JsonValue::Float`]); `None` for non-numbers.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::UInt(n) => Some(*n as f64),
+            JsonValue::Float(x) => Some(*x),
+            _ => None,
+        }
     }
 
     /// Renders the value as pretty-printed JSON with two-space indentation
@@ -89,6 +145,199 @@ impl JsonValue {
                 }
                 newline_indent(out, depth);
                 out.push('}');
+            }
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", byte as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self
+                        .peek()
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "invalid \\u escape".to_string())?;
+                            self.pos += 4;
+                            // Surrogate pairs are not emitted by the writer;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("invalid escape `\\{}`", other as char)),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a valid &str).
+                    let rest = &self.bytes[self.pos..];
+                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut float = false;
+        if self.peek() == Some(b'.') {
+            float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII digits");
+        if !float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(JsonValue::UInt(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(JsonValue::Float)
+            .map_err(|_| format!("invalid number `{text}`"))
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(entries));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
             }
         }
     }
@@ -155,5 +404,55 @@ mod tests {
         assert_eq!(value.render(), expected);
         // Rendering twice produces identical bytes.
         assert_eq!(value.render(), value.render());
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_values() {
+        let value = JsonValue::Object(vec![
+            ("null".to_string(), JsonValue::Null),
+            ("flag".to_string(), JsonValue::Bool(false)),
+            ("count".to_string(), JsonValue::UInt(42)),
+            ("cost".to_string(), JsonValue::Float(31415.9)),
+            ("name".to_string(), JsonValue::str("a\"b\\c\nd")),
+            (
+                "records".to_string(),
+                JsonValue::Array(vec![
+                    JsonValue::UInt(1),
+                    JsonValue::Object(vec![]),
+                    JsonValue::Array(vec![]),
+                ]),
+            ),
+        ]);
+        assert_eq!(JsonValue::parse(&value.render()).unwrap(), value);
+    }
+
+    #[test]
+    fn parse_handles_numbers_and_signs() {
+        assert_eq!(JsonValue::parse("7").unwrap(), JsonValue::UInt(7));
+        assert_eq!(JsonValue::parse("-7").unwrap(), JsonValue::Float(-7.0));
+        assert_eq!(JsonValue::parse("0.125").unwrap(), JsonValue::Float(0.125));
+        assert_eq!(JsonValue::parse("1e3").unwrap(), JsonValue::Float(1000.0));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "1 2", "\"unterminated"] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn accessors_navigate_parsed_documents() {
+        let doc = JsonValue::parse(
+            "{\"totals\": {\"mrtpl\": {\"cases\": 10, \"cost\": 1.5}}, \"methods\": [\"mrtpl\"]}",
+        )
+        .unwrap();
+        let totals = doc.get("totals").unwrap().get("mrtpl").unwrap();
+        assert_eq!(totals.get("cases").unwrap().as_f64(), Some(10.0));
+        assert_eq!(totals.get("cost").unwrap().as_f64(), Some(1.5));
+        let methods = doc.get("methods").unwrap().as_array().unwrap();
+        assert_eq!(methods[0].as_str(), Some("mrtpl"));
+        assert!(doc.get("missing").is_none());
+        assert!(methods[0].get("x").is_none());
     }
 }

@@ -26,7 +26,7 @@
 //! let registry = MethodRegistry::builtin();
 //! let methods = registry.select("dac12,mrtpl").unwrap();
 //! let cases = run_suite(Suite::Ispd18, &[1], 0.25);
-//! let records = run_matrix(&methods, &cases, &RunOptions { jobs: 2, deterministic: false });
+//! let records = run_matrix(&methods, &cases, &RunOptions { jobs: 2, ..RunOptions::default() });
 //! assert_eq!(records.len(), 2);
 //! assert!(records.iter().all(|r| r.record().is_some()));
 //! ```

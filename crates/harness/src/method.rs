@@ -7,6 +7,7 @@ use tpl_dac12::Dac12Config;
 use tpl_decompose::DecomposeConfig;
 use tpl_drcu::DrCuConfig;
 use tpl_metrics::CaseRecord;
+use tpl_par::Parallelism;
 
 /// A routing/decomposition flow the harness can schedule.
 ///
@@ -47,7 +48,13 @@ impl Method for MrTplMethod {
     fn run(&self, case: &PreparedCase) -> CaseRecord {
         let prepared = case.get();
         let (design, guides) = &*prepared;
-        flows::run_mrtpl(design, guides, &self.config).0
+        // The scheduler's `--net-jobs` composes with (and overrides) the
+        // method's own default; determinism is guaranteed by the router.
+        let config = MrTplConfig {
+            parallelism: Parallelism::new(case.net_jobs()),
+            ..self.config
+        };
+        flows::run_mrtpl(design, guides, &config).0
     }
 }
 

@@ -45,6 +45,8 @@ pub struct RunReport {
     pub scale: f64,
     /// Worker-thread count of the run.
     pub jobs: usize,
+    /// Intra-case worker count (net-level parallelism inside each router).
+    pub net_jobs: usize,
     /// Whether wall-clock fields were zeroed for byte-stable output.
     pub deterministic: bool,
     /// Method names in run order (the first is the comparison baseline).
@@ -109,6 +111,10 @@ impl RunReport {
         ];
         if !self.deterministic {
             root.push(("jobs".to_string(), JsonValue::UInt(self.jobs as u64)));
+            root.push((
+                "net_jobs".to_string(),
+                JsonValue::UInt(self.net_jobs as u64),
+            ));
         }
         root.extend([
             (
@@ -169,6 +175,19 @@ fn record_json(record: &JobRecord) -> JsonValue {
                 "runtime_seconds".to_string(),
                 JsonValue::Float(r.runtime_seconds),
             ));
+            entries.push((
+                "wirelength".to_string(),
+                JsonValue::UInt(r.wirelength.max(0) as u64),
+            ));
+            entries.push(("vias".to_string(), JsonValue::UInt(r.vias as u64)));
+            entries.push((
+                "search_nodes".to_string(),
+                JsonValue::UInt(r.search_nodes as u64),
+            ));
+            entries.push((
+                "rrr_iterations".to_string(),
+                JsonValue::UInt(r.rrr_iterations as u64),
+            ));
         }
         JobOutcome::Failed { error } => {
             entries.push(("status".to_string(), JsonValue::str("failed")));
@@ -199,6 +218,19 @@ fn totals_json(report: &RunReport, method: &str) -> JsonValue {
             "runtime_seconds".to_string(),
             JsonValue::Float(totals.runtime_seconds),
         ),
+        (
+            "wirelength".to_string(),
+            JsonValue::UInt(totals.wirelength.max(0) as u64),
+        ),
+        ("vias".to_string(), JsonValue::UInt(totals.vias as u64)),
+        (
+            "search_nodes".to_string(),
+            JsonValue::UInt(totals.search_nodes as u64),
+        ),
+        (
+            "rrr_iterations".to_string(),
+            JsonValue::UInt(totals.rrr_iterations as u64),
+        ),
     ])
 }
 
@@ -216,6 +248,7 @@ mod tests {
                 stitches: 2 * conflicts,
                 cost: 10.0 * conflicts as f64,
                 runtime_seconds: rt,
+                ..CaseRecord::default()
             }),
         }
     }
@@ -235,6 +268,7 @@ mod tests {
             suite: "ispd18".to_string(),
             scale: 0.5,
             jobs: 4,
+            net_jobs: 1,
             deterministic: false,
             methods: vec!["dac12".to_string(), "mrtpl".to_string()],
             records: vec![
@@ -299,6 +333,7 @@ mod tests {
             suite: "s".to_string(),
             scale: 1.0,
             jobs: 1,
+            net_jobs: 1,
             deterministic: false,
             methods: vec!["base".to_string(), "ours".to_string()],
             records: vec![
@@ -339,6 +374,7 @@ mod tests {
             suite: "s".to_string(),
             scale: 1.0,
             jobs: 1,
+            net_jobs: 1,
             deterministic: false,
             methods: vec!["base".to_string(), "ours".to_string()],
             records: vec![

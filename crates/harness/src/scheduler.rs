@@ -46,6 +46,7 @@ fn lock_ignoring_poison<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
 pub struct PreparedCase<'a> {
     case: &'a CaseParams,
     slot: &'a CaseSlot,
+    net_jobs: usize,
 }
 
 impl PreparedCase<'_> {
@@ -54,13 +55,20 @@ impl PreparedCase<'_> {
         self.case
     }
 
+    /// Intra-case net-level worker count (`RunOptions::net_jobs`).  Methods
+    /// that support it thread this into their router configuration; the
+    /// routers guarantee results are identical for every value.
+    pub fn net_jobs(&self) -> usize {
+        self.net_jobs
+    }
+
     /// The generated design and its route guides, built on first use.
     pub fn get(&self) -> Arc<(Design, RouteGuides)> {
         let mut guard = lock_ignoring_poison(&self.slot.data);
         if let Some(prepared) = guard.as_ref() {
             return prepared.clone();
         }
-        let prepared = Arc::new(flows::prepare_case(self.case));
+        let prepared = Arc::new(flows::prepare_case_parallel(self.case, self.net_jobs));
         *guard = Some(prepared.clone());
         prepared
     }
@@ -77,6 +85,11 @@ pub struct RunOptions {
     /// the determinism tests; conflict/stitch/cost columns are always
     /// deterministic).
     pub deterministic: bool,
+    /// Intra-case net-level worker count handed to each router (clamped to
+    /// at least 1).  Composes with `jobs`: `jobs` cases run concurrently,
+    /// each routing its nets on `net_jobs` workers.  Never changes any
+    /// record — the routers are worker-count-invariant by construction.
+    pub net_jobs: usize,
 }
 
 impl Default for RunOptions {
@@ -84,6 +97,7 @@ impl Default for RunOptions {
         RunOptions {
             jobs: 1,
             deterministic: false,
+            net_jobs: 1,
         }
     }
 }
@@ -171,6 +185,7 @@ pub fn run_matrix(
                 let case = PreparedCase {
                     case: &cases[c],
                     slot: &prepared[c],
+                    net_jobs: options.net_jobs.max(1),
                 };
                 let record = run_job(methods[m], &case, options);
                 if prepared[c].remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
@@ -252,6 +267,7 @@ mod tests {
                 stitches: case.name.len(),
                 cost: case.num_nets as f64 * 1.5,
                 runtime_seconds: 0.25,
+                ..CaseRecord::default()
             }
         }
     }
@@ -315,6 +331,7 @@ mod tests {
             &RunOptions {
                 jobs: 4,
                 deterministic: false,
+                ..RunOptions::default()
             },
         );
         assert_eq!(records.len(), 6);
@@ -341,6 +358,7 @@ mod tests {
             &RunOptions {
                 jobs: 1,
                 deterministic: false,
+                ..RunOptions::default()
             },
         );
         for jobs in [2, 5, 16, 64] {
@@ -350,6 +368,7 @@ mod tests {
                 &RunOptions {
                     jobs,
                     deterministic: false,
+                    ..RunOptions::default()
                 },
             );
             assert_eq!(baseline, parallel, "jobs = {jobs}");
@@ -368,6 +387,7 @@ mod tests {
             &RunOptions {
                 jobs: 2,
                 deterministic: true,
+                ..RunOptions::default()
             },
         );
         for record in records {

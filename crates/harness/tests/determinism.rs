@@ -38,6 +38,7 @@ impl Method for Stub {
             stitches: (h % 101) as usize,
             cost: (h % 1009) as f64 / 3.0,
             runtime_seconds: 0.125,
+            ..CaseRecord::default()
         }
     }
 }
@@ -81,12 +82,12 @@ proptest! {
         let sequential = run_matrix(
             &methods,
             &cases,
-            &RunOptions { jobs: 1, deterministic: false },
+            &RunOptions { jobs: 1, ..RunOptions::default() },
         );
         let parallel = run_matrix(
             &methods,
             &cases,
-            &RunOptions { jobs, deterministic: false },
+            &RunOptions { jobs, ..RunOptions::default() },
         );
         prop_assert_eq!(&sequential, &parallel);
         prop_assert_eq!(sequential.len(), num_cases * num_methods);
@@ -110,6 +111,7 @@ fn real_flows_match_between_jobs_1_and_8() {
         &RunOptions {
             jobs: 1,
             deterministic: true,
+            ..RunOptions::default()
         },
     );
     let parallel = run_matrix(
@@ -118,6 +120,7 @@ fn real_flows_match_between_jobs_1_and_8() {
         &RunOptions {
             jobs: 8,
             deterministic: true,
+            ..RunOptions::default()
         },
     );
     assert_eq!(sequential, parallel);
@@ -128,6 +131,7 @@ fn real_flows_match_between_jobs_1_and_8() {
         suite: "mixed".to_string(),
         scale: 0.25,
         jobs,
+        net_jobs: 1,
         deterministic: true,
         methods: vec!["dac12".to_string(), "mrtpl".to_string()],
         records,
@@ -152,7 +156,7 @@ fn a_panicking_method_yields_a_failed_record_without_aborting_the_run() {
         &cases,
         &RunOptions {
             jobs: 4,
-            deterministic: false,
+            ..RunOptions::default()
         },
     );
     assert_eq!(records.len(), 6);
@@ -183,6 +187,7 @@ fn a_panicking_method_yields_a_failed_record_without_aborting_the_run() {
         suite: "ispd18".to_string(),
         scale: 1.0,
         jobs: 4,
+        net_jobs: 1,
         deterministic: false,
         methods: vec!["good".to_string(), "panics-on-test3".to_string()],
         records,

@@ -13,6 +13,17 @@ pub struct CaseRecord {
     pub cost: f64,
     /// Wall-clock runtime in seconds.
     pub runtime_seconds: f64,
+    /// Total routed wirelength in database units.
+    pub wirelength: i64,
+    /// Total via count.
+    pub vias: usize,
+    /// Total search-graph nodes popped (search effort; `0` for methods that
+    /// do not run a graph search).  Unlike `runtime_seconds` this counter is
+    /// machine- and worker-count-independent, which is what the committed
+    /// perf baselines regress against.
+    pub search_nodes: usize,
+    /// Rip-up-and-reroute iterations executed (`0` for single-pass methods).
+    pub rrr_iterations: usize,
 }
 
 /// Relative improvement of `ours` over `baseline`, in percent.
@@ -51,6 +62,14 @@ pub struct SuiteTotals {
     pub cost: f64,
     /// Total wall-clock runtime in seconds.
     pub runtime_seconds: f64,
+    /// Total routed wirelength in database units.
+    pub wirelength: i64,
+    /// Total via count.
+    pub vias: usize,
+    /// Total search-graph nodes popped.
+    pub search_nodes: usize,
+    /// Total rip-up-and-reroute iterations.
+    pub rrr_iterations: usize,
 }
 
 impl SuiteTotals {
@@ -65,6 +84,10 @@ impl SuiteTotals {
             totals.stitches += r.stitches;
             totals.cost += r.cost;
             totals.runtime_seconds += r.runtime_seconds;
+            totals.wirelength += r.wirelength;
+            totals.vias += r.vias;
+            totals.search_nodes += r.search_nodes;
+            totals.rrr_iterations += r.rrr_iterations;
         }
         totals
     }
@@ -187,6 +210,7 @@ mod tests {
             stitches,
             cost,
             runtime_seconds: rt,
+            ..CaseRecord::default()
         }
     }
 
@@ -254,10 +278,17 @@ mod tests {
 
     #[test]
     fn totals_sum_every_column() {
-        let t = SuiteTotals::from_records(&[
-            rec("t1", 2, 10, 100.0, 1.5),
-            rec("t2", 3, 20, 200.0, 2.5),
-        ]);
+        let mut a = rec("t1", 2, 10, 100.0, 1.5);
+        a.wirelength = 1000;
+        a.vias = 7;
+        a.search_nodes = 500;
+        a.rrr_iterations = 1;
+        let mut b = rec("t2", 3, 20, 200.0, 2.5);
+        b.wirelength = 2000;
+        b.vias = 13;
+        b.search_nodes = 700;
+        b.rrr_iterations = 2;
+        let t = SuiteTotals::from_records(&[a, b]);
         assert_eq!(
             t,
             SuiteTotals {
@@ -266,6 +297,10 @@ mod tests {
                 stitches: 30,
                 cost: 300.0,
                 runtime_seconds: 4.0,
+                wirelength: 3000,
+                vias: 20,
+                search_nodes: 1200,
+                rrr_iterations: 3,
             }
         );
         assert_eq!(SuiteTotals::from_records(&[]), SuiteTotals::default());

@@ -10,7 +10,7 @@ use mr_tpl::color::{ColorMap, ColorState, Feature, Mask};
 use mr_tpl::core::{backtrace, search, ColorCostCache, MrTplConfig, NetBuffers, SearchContext};
 use mr_tpl::design::{DesignBuilder, LayerId, NetId, RouteGuides, Technology};
 use mr_tpl::geom::Rect;
-use mr_tpl::grid::{GridGraph, GridState, PinCoverage};
+use mr_tpl::grid::{DenseBitSet, GridGraph, GridState, PinCoverage};
 use tpl_color::ColorSetArena;
 
 fn main() {
@@ -52,7 +52,7 @@ fn main() {
 
     let config = MrTplConfig::default();
     let guides = RouteGuides::new(design.nets().len());
-    let in_guide = vec![true; grid.num_vertices()];
+    let in_guide = DenseBitSet::full(grid.num_vertices());
     let ctx = SearchContext {
         grid: &grid,
         state: &gstate,

@@ -32,7 +32,7 @@ fn main() {
 
     let options = RunOptions {
         jobs: 2,
-        deterministic: false,
+        ..RunOptions::default()
     };
     let records = run_matrix(&methods, &cases, &options);
 
@@ -56,6 +56,7 @@ fn main() {
         suite: "ispd18+ispd19".to_string(),
         scale,
         jobs: options.jobs,
+        net_jobs: options.net_jobs,
         deterministic: options.deterministic,
         methods: methods.iter().map(|m| m.name().to_string()).collect(),
         records,

@@ -17,6 +17,8 @@
 //! * [`metrics`] — evaluation metrics and table reporting.
 //! * [`harness`] — the parallel, deterministic suite-execution engine behind
 //!   the `mrtpl-bench` CLI (method registry, scheduler, JSON reports).
+//! * [`par`] — the vendored work-stealing pool powering intra-case net-level
+//!   parallelism (see `vendor/README.md`).
 //!
 //! # Examples
 //!
@@ -43,6 +45,7 @@ pub use tpl_grid as grid;
 pub use tpl_harness as harness;
 pub use tpl_ispd as ispd;
 pub use tpl_metrics as metrics;
+pub use tpl_par as par;
 
 /// The most common imports for running the full flow.
 pub mod prelude {
@@ -53,4 +56,5 @@ pub mod prelude {
     pub use tpl_geom::{Point, Rect};
     pub use tpl_global::{GlobalConfig, GlobalRouter};
     pub use tpl_ispd::CaseParams;
+    pub use tpl_par::Parallelism;
 }

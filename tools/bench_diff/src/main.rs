@@ -1,0 +1,301 @@
+//! `bench-diff` — compares two `mrtpl-bench` JSON reports and fails on
+//! counter regressions.
+//!
+//! ```bash
+//! bench-diff BENCH_6.json fresh-report.json [--threshold 0.25]
+//! ```
+//!
+//! The tool pairs records by `(method, case)` and compares every
+//! **non-wall-clock** counter: `conflicts`, `stitches`, `cost`, `wirelength`,
+//! `vias`, `search_nodes`, `rrr_iterations`.  A counter regresses when the
+//! new value exceeds the old by more than the threshold (default 25%) and the
+//! old value is positive; `old == 0 -> new > 0` transitions are reported as
+//! warnings but do not fail the diff, since no percentage is defined.
+//! Wall-clock fields (`runtime_seconds`) are ignored: CI machines are noisy,
+//! and the committed baselines are deterministic-mode reports with zeroed
+//! runtimes anyway.
+//!
+//! Exit status: 0 when no counter regressed and every baseline record is
+//! present and `ok` in the new report; 1 otherwise; 2 on usage/parse errors.
+
+use std::process::ExitCode;
+use tpl_harness::json::JsonValue;
+
+/// The counters compared, in report order.  Everything here is independent
+/// of wall clock and worker count by the determinism contract of the
+/// routers, so any drift is a real behaviour change.
+const COUNTERS: [&str; 7] = [
+    "conflicts",
+    "stitches",
+    "cost",
+    "wirelength",
+    "vias",
+    "search_nodes",
+    "rrr_iterations",
+];
+
+const USAGE: &str = "\
+bench-diff — compare two mrtpl-bench JSON reports
+
+USAGE:
+  bench-diff <baseline.json> <new.json> [--threshold <FRACTION>]
+
+Fails (exit 1) when any non-wall-clock counter of any (method, case) pair
+regresses by more than the threshold (default 0.25 = 25%), or when a
+baseline record is missing or failed in the new report.
+";
+
+/// One record key: the `(method, case)` pair the reports are joined on.
+type Key = (String, String);
+
+/// The `ok` records of a report keyed for joining, plus its failed keys.
+type KeyedRecords<'a> = (Vec<(Key, &'a JsonValue)>, Vec<Key>);
+
+/// A comparison problem found between the two reports.
+#[derive(Debug, PartialEq)]
+enum Problem {
+    /// A counter rose past the threshold: `(key, counter, old, new)`.
+    Regression(Key, &'static str, f64, f64),
+    /// A counter went `0 -> positive`; reported, not fatal.
+    FromZero(Key, &'static str, f64),
+    /// The baseline record is absent from the new report.
+    Missing(Key),
+    /// The record exists but its `status` is not `ok`.
+    Failed(Key),
+}
+
+impl Problem {
+    fn is_fatal(&self) -> bool {
+        !matches!(self, Problem::FromZero(..))
+    }
+
+    fn render(&self) -> String {
+        match self {
+            Problem::Regression((m, c), counter, old, new) => format!(
+                "REGRESSION {m}/{c}: {counter} {old} -> {new} (+{:.1}%)",
+                100.0 * (new - old) / old
+            ),
+            Problem::FromZero((m, c), counter, new) => {
+                format!("warning {m}/{c}: {counter} 0 -> {new}")
+            }
+            Problem::Missing((m, c)) => format!("MISSING {m}/{c}: not in the new report"),
+            Problem::Failed((m, c)) => format!("FAILED {m}/{c}: status is not ok"),
+        }
+    }
+}
+
+/// Extracts the `ok` records of a report as `(key, record-object)` pairs,
+/// plus the keys of failed records.
+fn records_by_key(report: &JsonValue) -> Result<KeyedRecords<'_>, String> {
+    let records = report
+        .get("records")
+        .and_then(JsonValue::as_array)
+        .ok_or("report has no `records` array")?;
+    let mut ok = Vec::new();
+    let mut failed = Vec::new();
+    for record in records {
+        let method = record
+            .get("method")
+            .and_then(JsonValue::as_str)
+            .ok_or("record has no `method`")?;
+        let case = record
+            .get("case")
+            .and_then(JsonValue::as_str)
+            .ok_or("record has no `case`")?;
+        let key = (method.to_string(), case.to_string());
+        match record.get("status").and_then(JsonValue::as_str) {
+            Some("ok") => ok.push((key, record)),
+            _ => failed.push(key),
+        }
+    }
+    Ok((ok, failed))
+}
+
+/// Compares two parsed reports; the returned problems are in baseline record
+/// order, counters within a record in [`COUNTERS`] order.
+fn diff_reports(
+    baseline: &JsonValue,
+    new: &JsonValue,
+    threshold: f64,
+) -> Result<Vec<Problem>, String> {
+    let (old_records, _) = records_by_key(baseline)?;
+    let (new_records, new_failed) = records_by_key(new)?;
+    let mut problems = Vec::new();
+    for (key, old_record) in &old_records {
+        let Some((_, new_record)) = new_records.iter().find(|(k, _)| k == key) else {
+            if new_failed.contains(key) {
+                problems.push(Problem::Failed(key.clone()));
+            } else {
+                problems.push(Problem::Missing(key.clone()));
+            }
+            continue;
+        };
+        for counter in COUNTERS {
+            // A counter absent on either side is skipped: reports from
+            // before the column existed stay comparable.
+            let (Some(old), Some(new)) = (
+                old_record.get(counter).and_then(JsonValue::as_f64),
+                new_record.get(counter).and_then(JsonValue::as_f64),
+            ) else {
+                continue;
+            };
+            if old > 0.0 && new > old * (1.0 + threshold) {
+                problems.push(Problem::Regression(key.clone(), counter, old, new));
+            } else if old == 0.0 && new > 0.0 {
+                problems.push(Problem::FromZero(key.clone(), counter, new));
+            }
+        }
+    }
+    Ok(problems)
+}
+
+fn run(args: &[String]) -> Result<Vec<Problem>, String> {
+    let mut paths = Vec::new();
+    let mut threshold = 0.25f64;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let v = iter.next().ok_or("missing value after --threshold")?;
+                threshold = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| t.is_finite() && *t >= 0.0)
+                    .ok_or_else(|| format!("invalid --threshold value `{v}`"))?;
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => paths.push(other.to_string()),
+        }
+    }
+    let [baseline_path, new_path] = paths.as_slice() else {
+        return Err(USAGE.to_string());
+    };
+    let read =
+        |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
+    let baseline =
+        JsonValue::parse(&read(baseline_path)?).map_err(|e| format!("{baseline_path}: {e}"))?;
+    let new = JsonValue::parse(&read(new_path)?).map_err(|e| format!("{new_path}: {e}"))?;
+    diff_reports(&baseline, &new, threshold)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::from(2)
+        }
+        Ok(problems) => {
+            let fatal = problems.iter().filter(|p| p.is_fatal()).count();
+            for problem in &problems {
+                println!("{}", problem.render());
+            }
+            if fatal > 0 {
+                println!("bench-diff: {fatal} regression(s)");
+                ExitCode::from(1)
+            } else {
+                println!("bench-diff: ok");
+                ExitCode::SUCCESS
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type RecordSpec<'a> = (&'a str, &'a str, &'a str, &'a [(&'a str, f64)]);
+
+    fn report(records: &[RecordSpec]) -> JsonValue {
+        JsonValue::Object(vec![(
+            "records".to_string(),
+            JsonValue::Array(
+                records
+                    .iter()
+                    .map(|(method, case, status, counters)| {
+                        let mut entries = vec![
+                            ("method".to_string(), JsonValue::str(*method)),
+                            ("case".to_string(), JsonValue::str(*case)),
+                            ("status".to_string(), JsonValue::str(*status)),
+                        ];
+                        for (name, value) in *counters {
+                            entries.push((name.to_string(), JsonValue::Float(*value)));
+                        }
+                        JsonValue::Object(entries)
+                    })
+                    .collect(),
+            ),
+        )])
+    }
+
+    #[test]
+    fn identical_reports_are_clean() {
+        let r = report(&[("mrtpl", "t1", "ok", &[("conflicts", 3.0), ("cost", 100.0)])]);
+        assert_eq!(diff_reports(&r, &r, 0.25).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn small_drift_passes_large_drift_fails() {
+        let old = report(&[("mrtpl", "t1", "ok", &[("search_nodes", 1000.0)])]);
+        let ok = report(&[("mrtpl", "t1", "ok", &[("search_nodes", 1200.0)])]);
+        assert_eq!(diff_reports(&old, &ok, 0.25).unwrap(), vec![]);
+        let bad = report(&[("mrtpl", "t1", "ok", &[("search_nodes", 1300.0)])]);
+        let problems = diff_reports(&old, &bad, 0.25).unwrap();
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].is_fatal());
+        assert!(problems[0].render().contains("search_nodes 1000 -> 1300"));
+    }
+
+    #[test]
+    fn improvements_never_fail() {
+        let old = report(&[("mrtpl", "t1", "ok", &[("cost", 100.0), ("vias", 50.0)])]);
+        let new = report(&[("mrtpl", "t1", "ok", &[("cost", 10.0), ("vias", 5.0)])]);
+        assert_eq!(diff_reports(&old, &new, 0.25).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn zero_to_positive_warns_without_failing() {
+        let old = report(&[("mrtpl", "t1", "ok", &[("conflicts", 0.0)])]);
+        let new = report(&[("mrtpl", "t1", "ok", &[("conflicts", 2.0)])]);
+        let problems = diff_reports(&old, &new, 0.25).unwrap();
+        assert_eq!(problems.len(), 1);
+        assert!(!problems[0].is_fatal());
+        assert!(problems[0].render().starts_with("warning"));
+    }
+
+    #[test]
+    fn missing_and_failed_records_are_fatal() {
+        let old = report(&[
+            ("mrtpl", "t1", "ok", &[]),
+            ("mrtpl", "t2", "ok", &[]),
+            ("dac12", "t1", "ok", &[]),
+        ]);
+        let new = report(&[("mrtpl", "t1", "ok", &[]), ("mrtpl", "t2", "failed", &[])]);
+        let problems = diff_reports(&old, &new, 0.25).unwrap();
+        assert_eq!(problems.len(), 2);
+        assert!(problems.iter().all(Problem::is_fatal));
+        assert!(problems[0].render().contains("FAILED mrtpl/t2"));
+        assert!(problems[1].render().contains("MISSING dac12/t1"));
+    }
+
+    #[test]
+    fn counters_absent_on_either_side_are_skipped() {
+        let old = report(&[("mrtpl", "t1", "ok", &[("conflicts", 1.0)])]);
+        let new = report(&[("mrtpl", "t1", "ok", &[("wirelength", 9999.0)])]);
+        assert_eq!(diff_reports(&old, &new, 0.25).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn run_rejects_bad_usage() {
+        assert!(run(&[]).is_err());
+        assert!(run(&["a.json".to_string()]).is_err());
+        assert!(run(&[
+            "a.json".to_string(),
+            "b.json".to_string(),
+            "--threshold".to_string(),
+            "nope".to_string(),
+        ])
+        .is_err());
+    }
+}

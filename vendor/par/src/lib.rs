@@ -1,0 +1,486 @@
+//! Vendored work-stealing thread-pool shim for intra-case parallelism.
+//!
+//! The build environment has no crates.io access, so this crate stands in
+//! for the slice of `rayon` the routers need: fan a batch of independent
+//! tasks over `jobs` worker threads and collect results in input order.
+//! It is built on [`std::thread::scope`] plus a chunked work queue — every
+//! worker claims chunks of the remaining items through one shared atomic
+//! cursor, so a worker that finishes early "steals" the chunks a slower
+//! worker never got to.
+//!
+//! Three properties make it usable inside deterministic routers:
+//!
+//! * **Order-independent results.** [`par_map`] writes each result into the
+//!   slot of its input index; the returned `Vec` is always in input order,
+//!   whatever the interleaving of workers.
+//! * **Sequential degeneration.** With [`Parallelism::sequential`] (or one
+//!   item) no thread is spawned at all: the closure runs inline, in input
+//!   order, on the caller's stack. Callers that keep task outputs pure
+//!   functions of their inputs therefore get bit-identical results for every
+//!   `jobs` value.
+//! * **Panic isolation.** A panicking task fails the *batch*, not the
+//!   process: every task runs under [`catch_unwind`], remaining tasks still
+//!   execute, and the lowest-indexed panic is reported as a [`TaskPanic`]
+//!   error so the caller decides whether to resume unwinding.
+//!
+//! [`plan_batches`] is the companion scheduler: it partitions spatially
+//! tagged work items (net bounding regions) into conflict-free batches whose
+//! members can safely run under [`par_map`] against frozen shared state.
+
+#![warn(missing_docs)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Degree of intra-case parallelism, threaded from the CLI down to the
+/// routers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Number of worker threads a batch is fanned over (at least 1).
+    pub jobs: usize,
+}
+
+impl Parallelism {
+    /// Parallelism over `jobs` workers; zero is clamped to one.
+    pub fn new(jobs: usize) -> Self {
+        Self { jobs: jobs.max(1) }
+    }
+
+    /// The sequential configuration: run every task inline on the caller.
+    pub const fn sequential() -> Self {
+        Self { jobs: 1 }
+    }
+
+    /// `true` when tasks run inline without spawning threads.
+    pub fn is_sequential(&self) -> bool {
+        self.jobs <= 1
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Self::sequential()
+    }
+}
+
+/// A task of a parallel batch panicked.
+///
+/// When several tasks panic, the lowest input index is reported so the error
+/// is deterministic whatever the worker interleaving was.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// Input index of the panicking task.
+    pub index: usize,
+    /// The panic message (or a placeholder for non-string payloads).
+    pub message: String,
+}
+
+impl std::fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for TaskPanic {}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Per-worker scratch slots reused across successive [`par_map_pooled`]
+/// batches, so epoch-invalidated buffers (search state, cost caches) are
+/// allocated once per run instead of once per batch.
+#[derive(Debug, Default)]
+pub struct ScratchPool<S> {
+    slots: Vec<Mutex<Option<S>>>,
+}
+
+impl<S> ScratchPool<S> {
+    /// Creates a pool with one slot per worker of `par`.
+    pub fn new(par: Parallelism) -> Self {
+        Self {
+            slots: (0..par.jobs).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// Number of scratch slots (the worker count the pool was sized for).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when the pool has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+/// How many items a worker claims per visit to the shared cursor: small
+/// enough that a slow task cannot strand much work behind it, large enough
+/// that the atomic is off the hot path.
+fn chunk_size(items: usize, jobs: usize) -> usize {
+    (items / (jobs * 4)).max(1)
+}
+
+/// Maps `f` over `items` on `par.jobs` workers, returning results in input
+/// order.
+///
+/// Equivalent to `items.iter().map(f).collect()` whenever each `f(item)` is
+/// a pure function of its input — the parallel and sequential paths then
+/// produce identical vectors. See [`par_map_pooled`] for per-worker scratch.
+pub fn par_map<T, R, F>(par: Parallelism, items: &[T], f: F) -> Result<Vec<R>, TaskPanic>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let pool: ScratchPool<()> = ScratchPool::new(par);
+    par_map_pooled(par, items, &pool, || (), |_, item| f(item))
+}
+
+/// [`par_map`] with per-worker scratch state.
+///
+/// Each worker locks one slot of `pool` for the whole batch, creating its
+/// scratch with `init` on first use and reusing it on later batches. The
+/// scratch must be *epoch-safe*: `f`'s output may depend only on `item` and
+/// on state `f` itself re-initialises, never on which items previously ran
+/// on the same worker — that is what keeps results independent of `jobs`.
+pub fn par_map_pooled<T, R, S, I, F>(
+    par: Parallelism,
+    items: &[T],
+    pool: &ScratchPool<S>,
+    init: I,
+    f: F,
+) -> Result<Vec<R>, TaskPanic>
+where
+    T: Sync,
+    R: Send,
+    S: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
+    assert!(
+        pool.len() >= par.jobs.min(items.len().max(1)),
+        "scratch pool smaller than worker count"
+    );
+    if items.is_empty() {
+        return Ok(Vec::new());
+    }
+
+    let workers = par.jobs.min(items.len());
+    if workers <= 1 {
+        // Inline sequential path: no threads, input order, same slot-0
+        // scratch the one-worker parallel path would use.
+        let mut guard = lock_ignoring_poison(&pool.slots[0]);
+        let scratch = guard.get_or_insert_with(&init);
+        let mut out = Vec::with_capacity(items.len());
+        let mut first_panic: Option<TaskPanic> = None;
+        for (index, item) in items.iter().enumerate() {
+            match catch_unwind(AssertUnwindSafe(|| f(scratch, item))) {
+                Ok(r) => out.push(r),
+                Err(payload) => {
+                    first_panic.get_or_insert(TaskPanic {
+                        index,
+                        message: panic_message(payload.as_ref()),
+                    });
+                    break;
+                }
+            }
+        }
+        return match first_panic {
+            Some(p) => Err(p),
+            None => Ok(out),
+        };
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let chunk = chunk_size(items.len(), workers);
+    let results: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let panics: Mutex<Vec<TaskPanic>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        let cursor = &cursor;
+        let results = &results;
+        let panics = &panics;
+        let init = &init;
+        let f = &f;
+        for slot in pool.slots.iter().take(workers) {
+            scope.spawn(move || {
+                let mut guard = lock_ignoring_poison(slot);
+                let scratch = guard.get_or_insert_with(&init);
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= items.len() {
+                        break;
+                    }
+                    let end = (start + chunk).min(items.len());
+                    for index in start..end {
+                        match catch_unwind(AssertUnwindSafe(|| f(scratch, &items[index]))) {
+                            Ok(r) => *lock_ignoring_poison(&results[index]) = Some(r),
+                            Err(payload) => lock_ignoring_poison(panics).push(TaskPanic {
+                                index,
+                                message: panic_message(payload.as_ref()),
+                            }),
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let mut panics = panics.into_inner().unwrap_or_else(|p| p.into_inner());
+    if let Some(first) = panics
+        .iter()
+        .min_by_key(|p| p.index)
+        .cloned()
+        .or_else(|| panics.pop())
+    {
+        return Err(first);
+    }
+    Ok(results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(|p| p.into_inner())
+                .expect("every result slot is filled when no task panicked")
+        })
+        .collect())
+}
+
+/// Recovers a guard from a poisoned lock: poisoning can only come from a
+/// panic that was already recorded as a task failure.
+fn lock_ignoring_poison<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// An axis-aligned interaction region of one work item, in arbitrary integer
+/// coordinates (database units or gcell indices alike). Bounds are
+/// inclusive; touching regions count as conflicting, which is the
+/// conservative choice for batch planning.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Region {
+    /// Minimum x (inclusive).
+    pub x0: i64,
+    /// Minimum y (inclusive).
+    pub y0: i64,
+    /// Maximum x (inclusive).
+    pub x1: i64,
+    /// Maximum y (inclusive).
+    pub y1: i64,
+}
+
+impl Region {
+    /// Creates a region, normalising swapped bounds.
+    pub fn new(x0: i64, y0: i64, x1: i64, y1: i64) -> Self {
+        Self {
+            x0: x0.min(x1),
+            y0: y0.min(y1),
+            x1: x0.max(x1),
+            y1: y0.max(y1),
+        }
+    }
+
+    /// `true` when the two closed regions intersect or touch.
+    #[inline]
+    pub fn conflicts(&self, other: &Region) -> bool {
+        self.x0 <= other.x1 && other.x0 <= self.x1 && self.y0 <= other.y1 && other.y0 <= self.y1
+    }
+}
+
+/// Partitions items into conflict-free batches, preserving input order.
+///
+/// Greedy first-fit: items are visited in input order; an item joins the
+/// currently open batch unless its region conflicts with a member already in
+/// it, in which case it waits for a later batch. Every batch's members have
+/// pairwise disjoint regions, so tasks whose effects stay inside their
+/// region can run concurrently against frozen shared state and commit at the
+/// batch barrier in input order — the outcome is independent of both batch
+/// size and worker interleaving.
+///
+/// The returned batches cover every input index exactly once, and
+/// concatenating them yields a permutation of `0..regions.len()` in which
+/// conflicting items keep their relative input order.
+pub fn plan_batches(regions: &[Region]) -> Vec<Vec<usize>> {
+    let mut remaining: Vec<usize> = (0..regions.len()).collect();
+    let mut batches = Vec::new();
+    while !remaining.is_empty() {
+        let mut batch: Vec<usize> = Vec::new();
+        let mut deferred: Vec<usize> = Vec::new();
+        // Running hull of the open batch: a cheap reject before the exact
+        // pairwise scan.
+        let mut hull: Option<Region> = None;
+        for &index in &remaining {
+            let region = regions[index];
+            let maybe_conflicting = hull.map(|h| h.conflicts(&region)).unwrap_or(false);
+            let conflicting =
+                maybe_conflicting && batch.iter().any(|&b| regions[b].conflicts(&region));
+            if conflicting {
+                deferred.push(index);
+            } else {
+                hull = Some(match hull {
+                    None => region,
+                    Some(h) => Region {
+                        x0: h.x0.min(region.x0),
+                        y0: h.y0.min(region.y0),
+                        x1: h.x1.max(region.x1),
+                        y1: h.y1.max(region.y1),
+                    },
+                });
+                batch.push(index);
+            }
+        }
+        batches.push(batch);
+        remaining = deferred;
+    }
+    batches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn parallelism_clamps_and_defaults_to_sequential() {
+        assert_eq!(Parallelism::new(0).jobs, 1);
+        assert_eq!(Parallelism::new(8).jobs, 8);
+        assert!(Parallelism::default().is_sequential());
+        assert!(!Parallelism::new(2).is_sequential());
+    }
+
+    #[test]
+    fn par_map_preserves_input_order_for_every_job_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for jobs in [1, 2, 3, 8, 64] {
+            let got = par_map(Parallelism::new(jobs), &items, |x| x * x).unwrap();
+            assert_eq!(got, expected, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert_eq!(par_map(Parallelism::new(4), &empty, |x| *x).unwrap(), empty);
+        assert_eq!(
+            par_map(Parallelism::new(4), &[7u32], |x| x + 1).unwrap(),
+            vec![8]
+        );
+    }
+
+    #[test]
+    fn pooled_scratch_is_initialised_once_per_worker_and_reused() {
+        let par = Parallelism::new(3);
+        let pool: ScratchPool<Vec<u32>> = ScratchPool::new(par);
+        let inits = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..100).collect();
+        for _ in 0..5 {
+            let out = par_map_pooled(
+                par,
+                &items,
+                &pool,
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    Vec::new()
+                },
+                |scratch, item| {
+                    scratch.push(*item);
+                    *item
+                },
+            )
+            .unwrap();
+            assert_eq!(out, items);
+        }
+        assert!(inits.load(Ordering::Relaxed) <= 3, "one init per worker");
+    }
+
+    #[test]
+    fn a_panicking_task_fails_the_batch_not_the_process() {
+        let items: Vec<u32> = (0..50).collect();
+        for jobs in [1, 4] {
+            let err = par_map(Parallelism::new(jobs), &items, |x| {
+                assert!(*x != 13, "injected failure on {x}");
+                *x
+            })
+            .expect_err("task 13 panics");
+            assert_eq!(err.index, 13, "jobs = {jobs}");
+            assert!(err.message.contains("injected failure"));
+        }
+        // The pool is still usable after a panicking batch.
+        assert_eq!(
+            par_map(Parallelism::new(4), &items, |x| *x).unwrap().len(),
+            items.len()
+        );
+    }
+
+    #[test]
+    fn lowest_panicking_index_wins_whatever_the_interleaving() {
+        let items: Vec<u32> = (0..64).collect();
+        for _ in 0..10 {
+            let err = par_map(Parallelism::new(8), &items, |x| {
+                assert!(*x % 10 != 7, "boom");
+                *x
+            })
+            .expect_err("several tasks panic");
+            assert_eq!(err.index, 7);
+        }
+    }
+
+    #[test]
+    fn regions_conflict_when_touching() {
+        let a = Region::new(0, 0, 10, 10);
+        assert!(a.conflicts(&Region::new(10, 10, 20, 20)));
+        assert!(a.conflicts(&Region::new(5, 5, 6, 6)));
+        assert!(!a.conflicts(&Region::new(11, 0, 20, 10)));
+        // Swapped bounds are normalised.
+        assert_eq!(Region::new(10, 10, 0, 0), a);
+    }
+
+    #[test]
+    fn batches_are_conflict_free_and_cover_every_item_once() {
+        // A chain of overlapping regions plus isolated ones.
+        let regions: Vec<Region> = (0..20)
+            .map(|i| {
+                if i % 2 == 0 {
+                    Region::new(i * 5, 0, i * 5 + 12, 10)
+                } else {
+                    Region::new(i * 100 + 1000, 50, i * 100 + 1001, 51)
+                }
+            })
+            .collect();
+        let batches = plan_batches(&regions);
+        let mut seen: Vec<usize> = batches.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..regions.len()).collect::<Vec<_>>());
+        for batch in &batches {
+            for (i, &a) in batch.iter().enumerate() {
+                for &b in &batch[i + 1..] {
+                    assert!(
+                        !regions[a].conflicts(&regions[b]),
+                        "items {a} and {b} conflict within one batch"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_items_form_a_single_batch_in_input_order() {
+        let regions: Vec<Region> = (0..8)
+            .map(|i| Region::new(i * 10, 0, i * 10 + 5, 5))
+            .collect();
+        let batches = plan_batches(&regions);
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0], (0..8).collect::<Vec<_>>());
+        assert!(plan_batches(&[]).is_empty());
+    }
+}
