@@ -1,10 +1,14 @@
 //! Unified suite-execution CLI: run any method × case matrix over the
-//! ISPD-2018/2019-like suites in parallel and report text or JSON.
+//! ISPD-2018/2019-like suites — or externally ingested LEF/DEF designs —
+//! in parallel and report text or JSON.
 //!
 //! ```bash
 //! cargo run --release -p tpl-bench --bin mrtpl-bench -- \
 //!     --suite ispd18 --cases 1,2 --methods dac12,mrtpl \
 //!     --jobs 8 --format json --out report.json
+//!
+//! cargo run --release -p tpl-bench --bin mrtpl-bench -- \
+//!     --lef tech.lef --def chip.def --methods dac12,mrtpl
 //! ```
 //!
 //! See `--help` for the full flag list; `table2`/`table3` are thin presets
@@ -32,21 +36,29 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    eprintln!(
-        "mrtpl-bench: suite {} cases {} methods {} scale {} jobs {}",
-        args.suite.name(),
-        if args.cases.is_empty() {
-            "all".to_string()
-        } else {
-            format!("{:?}", args.cases)
-        },
-        args.methods,
-        args.scale,
-        args.jobs,
-    );
+    if let Some(def) = &args.def {
+        eprintln!(
+            "mrtpl-bench: external def {def} methods {} jobs {}",
+            args.methods, args.jobs,
+        );
+    } else {
+        eprintln!(
+            "mrtpl-bench: suite {} cases {} methods {} scale {} jobs {}",
+            args.suite.name(),
+            if args.cases.is_empty() {
+                "all".to_string()
+            } else {
+                format!("{:?}", args.cases)
+            },
+            args.methods,
+            args.scale,
+            args.jobs,
+        );
+    }
     let report = match cli::execute(&args) {
         Ok(report) => report,
-        // The only execute error is an unknown --methods name: usage error.
+        // Execute errors are bad input — an unknown --methods name or an
+        // unreadable/invalid --def or --lef: usage error.
         Err(message) => {
             eprintln!("error: {message}");
             return ExitCode::from(2);

@@ -1,7 +1,8 @@
 //! Argument parsing and text rendering of the `mrtpl-bench` binary.
 
-use tpl_harness::{run_matrix, MethodRegistry, RunOptions, RunReport};
-use tpl_ispd::{run_suite, Suite};
+use std::path::Path;
+use tpl_harness::{run_matrix, InputProvenance, MethodRegistry, RunOptions, RunReport};
+use tpl_ispd::{cases_from_def_dir, run_suite, Case, Suite};
 use tpl_metrics::{format_table, SuiteTotals, TableRow};
 
 /// Output format of `mrtpl-bench`.
@@ -32,6 +33,12 @@ pub struct BenchArgs {
     pub format: Format,
     /// Write the report to this path instead of stdout.
     pub out: Option<String>,
+    /// Route an external DEF file (or a directory of `.def` files) instead
+    /// of a synthetic suite.
+    pub def: Option<String>,
+    /// Explicit LEF for `--def`; defaults to the DEF's sibling `<stem>.lef`,
+    /// then `tech.lef` in the same directory.
+    pub lef: Option<String>,
     /// Zero wall-clock fields for byte-stable output.
     pub deterministic: bool,
     /// Print the method registry and exit.
@@ -51,6 +58,8 @@ impl Default for BenchArgs {
             net_jobs: 1,
             format: Format::Text,
             out: None,
+            def: None,
+            lef: None,
             deterministic: false,
             list_methods: false,
             help: false,
@@ -73,6 +82,10 @@ OPTIONS:
   --jobs <N>                worker threads over the case matrix (default: 1)
   --net-jobs <N>            worker threads inside each router; never changes
                             results, only wall clock (default: 1)
+  --def <PATH>              route an external DEF file (or a directory of
+                            .def files) instead of a synthetic suite
+  --lef <PATH>              LEF for --def (default: the DEF's sibling
+                            <stem>.lef, then tech.lef in its directory)
   --format <text|json>      output format (default: text)
   --out <PATH>              write the report to a file instead of stdout
   --deterministic           zero wall-clock fields (byte-stable output)
@@ -132,6 +145,8 @@ pub fn parse_bench_args(args: impl Iterator<Item = String>) -> Result<BenchArgs,
                     _ => return Err(format!("unknown format `{v}` (text or json)")),
                 };
             }
+            "--def" => parsed.def = Some(take("--def")?),
+            "--lef" => parsed.lef = Some(take("--lef")?),
             "--out" => parsed.out = Some(take("--out")?),
             "--deterministic" => parsed.deterministic = true,
             "--list-methods" => parsed.list_methods = true,
@@ -156,11 +171,74 @@ fn parse_case_list(spec: &str) -> Result<Vec<usize>, String> {
     Ok(cases)
 }
 
+/// Builds the case list of an external `--def` run.
+fn external_cases(args: &BenchArgs, def: &str) -> Result<Vec<Case>, String> {
+    if !args.cases.is_empty() {
+        return Err(
+            "--cases selects synthetic suite indices; it cannot be combined with --def".to_string(),
+        );
+    }
+    if (args.scale - 1.0).abs() > f64::EPSILON {
+        return Err(
+            "--scale applies to synthetic cases; it cannot be combined with --def".to_string(),
+        );
+    }
+    let def_path = Path::new(def);
+    if def_path.is_dir() {
+        if args.lef.is_some() {
+            return Err(
+                "--lef needs a single DEF file; a --def directory discovers each case's LEF"
+                    .to_string(),
+            );
+        }
+        return cases_from_def_dir(def_path).map_err(|e| e.to_string());
+    }
+    let lef_path = match &args.lef {
+        Some(lef) => Path::new(lef).to_path_buf(),
+        None => {
+            let sibling = def_path.with_extension("lef");
+            let shared = def_path.with_file_name("tech.lef");
+            if sibling.is_file() {
+                sibling
+            } else if shared.is_file() {
+                shared
+            } else {
+                return Err(format!(
+                    "no LEF for {def}: pass --lef or provide {} or {}",
+                    sibling.display(),
+                    shared.display()
+                ));
+            }
+        }
+    };
+    let case = Case::from_lefdef(&lef_path, def_path).map_err(|e| e.to_string())?;
+    Ok(vec![case])
+}
+
 /// Runs the parsed matrix through the harness and returns the report.
 pub fn execute(args: &BenchArgs) -> Result<RunReport, String> {
     let registry = MethodRegistry::builtin();
     let methods = registry.select(&args.methods)?;
-    let cases = run_suite(args.suite, &args.cases, args.scale);
+    let (suite, input, cases) = match &args.def {
+        Some(def) => (
+            "external".to_string(),
+            InputProvenance::External {
+                lef: args.lef.clone(),
+                def: def.clone(),
+            },
+            external_cases(args, def)?,
+        ),
+        None => {
+            if args.lef.is_some() {
+                return Err("--lef only makes sense together with --def".to_string());
+            }
+            (
+                args.suite.name().to_string(),
+                InputProvenance::Synthetic,
+                run_suite(args.suite, &args.cases, args.scale),
+            )
+        }
+    };
     let options = RunOptions {
         jobs: args.jobs,
         net_jobs: args.net_jobs,
@@ -168,7 +246,8 @@ pub fn execute(args: &BenchArgs) -> Result<RunReport, String> {
     };
     let records = run_matrix(&methods, &cases, &options);
     Ok(RunReport {
-        suite: args.suite.name().to_string(),
+        suite,
+        input,
         scale: args.scale,
         jobs: args.jobs,
         net_jobs: args.net_jobs,
@@ -341,6 +420,39 @@ mod tests {
             ..BenchArgs::default()
         };
         assert!(execute(&args).unwrap_err().contains("unknown method"));
+    }
+
+    #[test]
+    fn def_and_lef_flags_parse() {
+        let args = parse(&["--def", "designs/chip.def", "--lef", "designs/tech.lef"]).unwrap();
+        assert_eq!(args.def.as_deref(), Some("designs/chip.def"));
+        assert_eq!(args.lef.as_deref(), Some("designs/tech.lef"));
+    }
+
+    #[test]
+    fn external_runs_reject_synthetic_only_flags() {
+        let base = BenchArgs {
+            def: Some("/nonexistent/chip.def".to_string()),
+            ..BenchArgs::default()
+        };
+        let with_cases = BenchArgs {
+            cases: vec![1],
+            ..base.clone()
+        };
+        assert!(execute(&with_cases).unwrap_err().contains("--cases"));
+        let with_scale = BenchArgs {
+            scale: 0.5,
+            ..base.clone()
+        };
+        assert!(execute(&with_scale).unwrap_err().contains("--scale"));
+        let lef_only = BenchArgs {
+            lef: Some("tech.lef".to_string()),
+            def: None,
+            ..BenchArgs::default()
+        };
+        assert!(execute(&lef_only).unwrap_err().contains("--def"));
+        // A missing DEF fails with the LEF-discovery error, not a panic.
+        assert!(execute(&base).unwrap_err().contains("no LEF"));
     }
 
     #[test]

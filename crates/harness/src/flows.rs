@@ -12,7 +12,7 @@ use tpl_decompose::{DecomposeConfig, Decomposer};
 use tpl_design::{Design, RouteGuides};
 use tpl_drcu::{DrCuConfig, DrCuRouter};
 use tpl_global::{GlobalConfig, GlobalRouter};
-use tpl_ispd::{score_solution, CaseParams, ScoreWeights};
+use tpl_ispd::{score_solution, Case, CaseParams, ScoreWeights};
 use tpl_metrics::CaseRecord;
 use tpl_par::Parallelism;
 
@@ -26,7 +26,13 @@ pub fn prepare_case(params: &CaseParams) -> (Design, RouteGuides) {
 /// Guide generation is deterministic in the worker count (the global router
 /// commits batch results in net order), so this only changes wall clock.
 pub fn prepare_case_parallel(params: &CaseParams, net_jobs: usize) -> (Design, RouteGuides) {
-    let design = params.generate();
+    prepare(&Case::synthetic(params.clone()), net_jobs)
+}
+
+/// Prepares any benchmark [`Case`] — synthetic or externally ingested — by
+/// instantiating its design and routing the guides with `net_jobs` workers.
+pub fn prepare(case: &Case, net_jobs: usize) -> (Design, RouteGuides) {
+    let design = case.instantiate();
     let config = GlobalConfig {
         parallelism: Parallelism::new(net_jobs),
         ..GlobalConfig::default()

@@ -40,5 +40,5 @@ mod report;
 mod scheduler;
 
 pub use method::{Dac12Method, DecomposeMethod, DrCuMethod, Method, MethodRegistry, MrTplMethod};
-pub use report::RunReport;
+pub use report::{InputProvenance, RunReport};
 pub use scheduler::{run_matrix, JobOutcome, JobRecord, PreparedCase, RunOptions};

@@ -255,7 +255,7 @@ mod tests {
     fn methods_run_a_tiny_case() {
         // Through the scheduler (the only constructor of PreparedCase), all
         // four flows on one tiny case, sharing its preparation.
-        let case = tpl_ispd::CaseParams::ispd18_like(1).scaled(0.2);
+        let case = tpl_ispd::Case::synthetic(tpl_ispd::CaseParams::ispd18_like(1).scaled(0.2));
         let registry = MethodRegistry::builtin();
         let methods: Vec<&dyn Method> = registry.iter().collect();
         let records = crate::run_matrix(
@@ -267,7 +267,7 @@ mod tests {
         for (record, method) in records.iter().zip(registry.iter()) {
             assert_eq!(record.method, method.name());
             let r = record.record().expect("flow succeeded");
-            assert_eq!(r.case, case.name, "method {}", method.name());
+            assert_eq!(r.case, case.name(), "method {}", method.name());
             assert!(r.runtime_seconds >= 0.0);
         }
     }

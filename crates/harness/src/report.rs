@@ -11,6 +11,7 @@
 //!   "schema_version": 1,
 //!   "tool": "mrtpl-bench",
 //!   "suite": "ispd18",
+//!   "input": { "kind": "synthetic" },
 //!   "scale": 1.0,
 //!   "jobs": 8,
 //!   "deterministic": false,
@@ -36,11 +37,48 @@ use crate::json::JsonValue;
 use crate::scheduler::{JobOutcome, JobRecord};
 use tpl_metrics::{geomean_speedup, CaseRecord, SuiteTotals};
 
+/// Where a run's cases came from, recorded in the report for traceability.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub enum InputProvenance {
+    /// Cases from the seeded synthetic generator (the default suites).
+    #[default]
+    Synthetic,
+    /// Cases ingested from external LEF/DEF files.
+    External {
+        /// The `--lef` path, when one was given explicitly (otherwise the
+        /// LEF was discovered next to the DEF).
+        lef: Option<String>,
+        /// The `--def` path (a file or a directory of `.def` files).
+        def: String,
+    },
+}
+
+impl InputProvenance {
+    fn to_json_value(&self) -> JsonValue {
+        match self {
+            InputProvenance::Synthetic => {
+                JsonValue::Object(vec![("kind".to_string(), JsonValue::str("synthetic"))])
+            }
+            InputProvenance::External { lef, def } => {
+                let mut entries = vec![("kind".to_string(), JsonValue::str("lefdef"))];
+                if let Some(lef) = lef {
+                    entries.push(("lef".to_string(), JsonValue::str(lef)));
+                }
+                entries.push(("def".to_string(), JsonValue::str(def)));
+                JsonValue::Object(entries)
+            }
+        }
+    }
+}
+
 /// One suite run: configuration plus the scheduler's records in input order.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RunReport {
-    /// Suite name (`ispd18` / `ispd19`), as reported by the CLI.
+    /// Suite name (`ispd18` / `ispd19`, or `external` for ingested designs),
+    /// as reported by the CLI.
     pub suite: String,
+    /// Where the cases came from.
+    pub input: InputProvenance,
     /// Scale factor the cases were generated at.
     pub scale: f64,
     /// Worker-thread count of the run.
@@ -107,6 +145,7 @@ impl RunReport {
             ("schema_version".to_string(), JsonValue::UInt(1)),
             ("tool".to_string(), JsonValue::str("mrtpl-bench")),
             ("suite".to_string(), JsonValue::str(&self.suite)),
+            ("input".to_string(), self.input.to_json_value()),
             ("scale".to_string(), JsonValue::Float(self.scale)),
         ];
         if !self.deterministic {
@@ -266,6 +305,7 @@ mod tests {
     fn sample() -> RunReport {
         RunReport {
             suite: "ispd18".to_string(),
+            input: InputProvenance::Synthetic,
             scale: 0.5,
             jobs: 4,
             net_jobs: 1,
@@ -331,6 +371,7 @@ mod tests {
         // The same case run twice: each ours record must pair exactly once.
         let report = RunReport {
             suite: "s".to_string(),
+            input: InputProvenance::Synthetic,
             scale: 1.0,
             jobs: 1,
             net_jobs: 1,
@@ -372,6 +413,7 @@ mod tests {
         // the only shared successful case is t3.
         let report = RunReport {
             suite: "s".to_string(),
+            input: InputProvenance::Synthetic,
             scale: 1.0,
             jobs: 1,
             net_jobs: 1,

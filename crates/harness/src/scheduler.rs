@@ -16,7 +16,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use tpl_design::{Design, RouteGuides};
-use tpl_ispd::CaseParams;
+use tpl_ispd::Case;
 use tpl_metrics::CaseRecord;
 
 /// The lazily-shared preparation of one case, dropped after its last method.
@@ -44,14 +44,14 @@ fn lock_ignoring_poison<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
 /// generation and global routing; the other methods reuse the result.  The
 /// preparation is deterministic, so sharing cannot change any record.
 pub struct PreparedCase<'a> {
-    case: &'a CaseParams,
+    case: &'a Case,
     slot: &'a CaseSlot,
     net_jobs: usize,
 }
 
 impl PreparedCase<'_> {
-    /// The parameters of this case.
-    pub fn case(&self) -> &CaseParams {
+    /// The case this preparation belongs to.
+    pub fn case(&self) -> &Case {
         self.case
     }
 
@@ -68,7 +68,7 @@ impl PreparedCase<'_> {
         if let Some(prepared) = guard.as_ref() {
             return prepared.clone();
         }
-        let prepared = Arc::new(flows::prepare_case_parallel(self.case, self.net_jobs));
+        let prepared = Arc::new(flows::prepare(self.case, self.net_jobs));
         *guard = Some(prepared.clone());
         prepared
     }
@@ -150,11 +150,7 @@ impl JobRecord {
 /// Record order and every non-wall-clock field are independent of
 /// `options.jobs`; with `options.deterministic` set (runtime fields zeroed)
 /// records are byte-for-byte independent of it.
-pub fn run_matrix(
-    methods: &[&dyn Method],
-    cases: &[CaseParams],
-    options: &RunOptions,
-) -> Vec<JobRecord> {
+pub fn run_matrix(methods: &[&dyn Method], cases: &[Case], options: &RunOptions) -> Vec<JobRecord> {
     let jobs: Vec<(usize, usize)> = cases
         .iter()
         .enumerate()
@@ -223,7 +219,7 @@ fn run_job(method: &dyn Method, case: &PreparedCase, options: &RunOptions) -> Jo
     };
     JobRecord {
         method: method.name().to_string(),
-        case: case.case().name.clone(),
+        case: case.case().name().to_string(),
         outcome,
     }
 }
@@ -260,12 +256,12 @@ mod tests {
         }
 
         fn run(&self, case: &PreparedCase) -> CaseRecord {
-            let case = case.case();
+            let params = case.case().params().expect("stub runs on synthetic cases");
             CaseRecord {
-                case: case.name.clone(),
-                conflicts: case.num_nets * self.weight,
-                stitches: case.name.len(),
-                cost: case.num_nets as f64 * 1.5,
+                case: params.name.clone(),
+                conflicts: params.num_nets * self.weight,
+                stitches: params.name.len(),
+                cost: params.num_nets as f64 * 1.5,
                 runtime_seconds: 0.25,
                 ..CaseRecord::default()
             }
@@ -286,21 +282,19 @@ mod tests {
         }
 
         fn run(&self, case: &PreparedCase) -> CaseRecord {
-            let case = case.case();
-            assert!(
-                !case.name.contains(self.substring),
-                "injected failure on {}",
-                case.name
-            );
+            let name = case.case().name();
+            assert!(!name.contains(self.substring), "injected failure on {name}");
             CaseRecord {
-                case: case.name.clone(),
+                case: name.to_string(),
                 ..CaseRecord::default()
             }
         }
     }
 
-    fn tiny_cases(n: usize) -> Vec<CaseParams> {
-        (1..=n).map(CaseParams::ispd18_like).collect()
+    fn tiny_cases(n: usize) -> Vec<Case> {
+        (1..=n)
+            .map(|i| Case::synthetic(tpl_ispd::CaseParams::ispd18_like(i)))
+            .collect()
     }
 
     #[test]
@@ -337,7 +331,7 @@ mod tests {
         assert_eq!(records.len(), 6);
         for (i, record) in records.iter().enumerate() {
             assert_eq!(record.method, if i % 2 == 0 { "a" } else { "b" });
-            assert_eq!(record.case, cases[i / 2].name);
+            assert_eq!(record.case, cases[i / 2].name());
         }
     }
 

@@ -6,7 +6,8 @@
 
 use proptest::prelude::*;
 use tpl_harness::{
-    run_matrix, JobRecord, Method, MethodRegistry, PreparedCase, RunOptions, RunReport,
+    run_matrix, InputProvenance, JobRecord, Method, MethodRegistry, PreparedCase, RunOptions,
+    RunReport,
 };
 use tpl_ispd::{run_suite, Suite};
 use tpl_metrics::CaseRecord;
@@ -28,12 +29,12 @@ impl Method for Stub {
     }
 
     fn run(&self, case: &PreparedCase) -> CaseRecord {
-        let name = &case.case().name;
+        let name = case.case().name();
         let h = name
             .bytes()
             .fold(self.salt, |h, b| h.wrapping_mul(31).wrapping_add(b as u64));
         CaseRecord {
-            case: name.clone(),
+            case: name.to_string(),
             conflicts: (h % 17) as usize,
             stitches: (h % 101) as usize,
             cost: (h % 1009) as f64 / 3.0,
@@ -56,10 +57,10 @@ impl Method for PanicsOnTest3 {
     }
 
     fn run(&self, case: &PreparedCase) -> CaseRecord {
-        let name = &case.case().name;
+        let name = case.case().name();
         assert!(!name.contains("test3"), "synthetic crash on test3");
         CaseRecord {
-            case: name.clone(),
+            case: name.to_string(),
             ..CaseRecord::default()
         }
     }
@@ -129,6 +130,7 @@ fn real_flows_match_between_jobs_1_and_8() {
     // field is omitted there, being the one legitimate difference).
     let report = |records: Vec<JobRecord>, jobs: usize| RunReport {
         suite: "mixed".to_string(),
+        input: InputProvenance::Synthetic,
         scale: 0.25,
         jobs,
         net_jobs: 1,
@@ -185,6 +187,7 @@ fn a_panicking_method_yields_a_failed_record_without_aborting_the_run() {
     // The failure still shows up in the JSON report as a failed record.
     let report = RunReport {
         suite: "ispd18".to_string(),
+        input: InputProvenance::Synthetic,
         scale: 1.0,
         jobs: 4,
         net_jobs: 1,

@@ -1,0 +1,186 @@
+//! A runnable benchmark case: synthetic parameters or an ingested LEF/DEF
+//! pair.
+//!
+//! The harness and CLI layers run over [`Case`] values so that externally
+//! ingested designs flow through exactly the same scheduler, methods and
+//! reports as the synthetic suites.
+
+use crate::CaseParams;
+use std::path::{Path, PathBuf};
+use tpl_design::Design;
+use tpl_lefdef::LefDefError;
+
+/// Where a case's design comes from.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub enum CaseSource {
+    /// A seeded synthetic case; the design is generated on demand.
+    Synthetic(CaseParams),
+    /// An externally ingested LEF/DEF pair, loaded eagerly so input errors
+    /// surface before any routing starts.
+    External {
+        /// The LEF file the technology came from.
+        lef: PathBuf,
+        /// The DEF file the design came from.
+        def: PathBuf,
+        /// The lowered design.
+        design: Box<Design>,
+    },
+}
+
+/// One runnable benchmark case.
+#[derive(Clone, Debug)]
+pub struct Case {
+    source: CaseSource,
+}
+
+impl Case {
+    /// Wraps synthetic case parameters.
+    pub fn synthetic(params: CaseParams) -> Self {
+        Case {
+            source: CaseSource::Synthetic(params),
+        }
+    }
+
+    /// Loads an external case from a LEF/DEF pair on disk.
+    ///
+    /// The case is named after the DEF's `DESIGN` statement.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O, parse and lowering errors of
+    /// [`tpl_lefdef::load_design`].
+    pub fn from_lefdef(lef: &Path, def: &Path) -> Result<Self, LefDefError> {
+        let lowered = tpl_lefdef::load_design(lef, def)?;
+        Ok(Case {
+            source: CaseSource::External {
+                lef: lef.to_path_buf(),
+                def: def.to_path_buf(),
+                design: Box::new(lowered.design),
+            },
+        })
+    }
+
+    /// The case name used in reports and logs.
+    pub fn name(&self) -> &str {
+        match &self.source {
+            CaseSource::Synthetic(params) => &params.name,
+            CaseSource::External { design, .. } => design.name(),
+        }
+    }
+
+    /// The synthetic parameters, when this is a synthetic case.
+    pub fn params(&self) -> Option<&CaseParams> {
+        match &self.source {
+            CaseSource::Synthetic(params) => Some(params),
+            CaseSource::External { .. } => None,
+        }
+    }
+
+    /// The `(lef, def)` paths, when this is an external case.
+    pub fn lefdef_paths(&self) -> Option<(&Path, &Path)> {
+        match &self.source {
+            CaseSource::Synthetic(_) => None,
+            CaseSource::External { lef, def, .. } => Some((lef, def)),
+        }
+    }
+
+    /// The source of the case.
+    pub fn source(&self) -> &CaseSource {
+        &self.source
+    }
+
+    /// Produces the case's design: generates the synthetic design or clones
+    /// the ingested one.
+    pub fn instantiate(&self) -> Design {
+        match &self.source {
+            CaseSource::Synthetic(params) => params.generate(),
+            CaseSource::External { design, .. } => (**design).clone(),
+        }
+    }
+}
+
+impl From<CaseParams> for Case {
+    fn from(params: CaseParams) -> Self {
+        Case::synthetic(params)
+    }
+}
+
+/// Loads every `*.def` in a directory as an external case, sorted by file
+/// name.
+///
+/// The matching LEF is the sibling `<stem>.lef` when it exists, otherwise the
+/// directory-wide `tech.lef`.  Duplicate design names are rejected, since
+/// reports key records by case name.
+///
+/// # Errors
+///
+/// [`LefDefError::Io`] when the directory cannot be read, no DEF is found or
+/// a DEF has no matching LEF; parse/lowering errors from the individual
+/// files; [`LefDefError::Lower`] on duplicate design names.
+pub fn cases_from_def_dir(dir: &Path) -> Result<Vec<Case>, LefDefError> {
+    let io_err = |message: String| LefDefError::Io {
+        path: dir.display().to_string(),
+        message,
+    };
+    let entries = std::fs::read_dir(dir).map_err(|e| io_err(e.to_string()))?;
+    let mut defs: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "def"))
+        .collect();
+    defs.sort();
+    if defs.is_empty() {
+        return Err(io_err("no .def files found".to_string()));
+    }
+    let shared_lef = dir.join("tech.lef");
+    let mut cases = Vec::with_capacity(defs.len());
+    for def in &defs {
+        let sibling = def.with_extension("lef");
+        let lef = if sibling.is_file() {
+            sibling
+        } else if shared_lef.is_file() {
+            shared_lef.clone()
+        } else {
+            return Err(LefDefError::Io {
+                path: def.display().to_string(),
+                message: format!(
+                    "no matching LEF: neither {} nor {} exists",
+                    sibling.display(),
+                    shared_lef.display()
+                ),
+            });
+        };
+        let case = Case::from_lefdef(&lef, def)?;
+        if cases.iter().any(|c: &Case| c.name() == case.name()) {
+            return Err(LefDefError::Lower(format!(
+                "duplicate design name `{}` in {}",
+                case.name(),
+                dir.display()
+            )));
+        }
+        cases.push(case);
+    }
+    Ok(cases)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_case_exposes_params_and_generates() {
+        let params = CaseParams::ispd18_like(1).scaled(0.2);
+        let case = Case::from(params.clone());
+        assert_eq!(case.name(), params.name);
+        assert_eq!(case.params(), Some(&params));
+        assert!(case.lefdef_paths().is_none());
+        assert_eq!(case.instantiate().name(), params.name);
+    }
+
+    #[test]
+    fn missing_def_dir_is_an_io_error() {
+        let err = cases_from_def_dir(Path::new("/nonexistent/defs")).unwrap_err();
+        assert!(matches!(err, LefDefError::Io { .. }), "{err}");
+    }
+}

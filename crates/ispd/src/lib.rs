@@ -25,11 +25,13 @@
 
 #![warn(missing_docs)]
 
+mod case;
 mod generator;
 mod params;
 mod score;
 mod suite;
 
+pub use case::{cases_from_def_dir, Case, CaseSource};
 pub use generator::generate_design;
 pub use params::CaseParams;
 pub use score::{score_solution, CostBreakdown, ScoreWeights};

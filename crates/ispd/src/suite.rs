@@ -1,6 +1,8 @@
 //! Convenience constructors for whole benchmark suites.
 
-use crate::CaseParams;
+use crate::{Case, CaseParams};
+use std::path::Path;
+use tpl_lefdef::LefDefError;
 
 /// The two synthetic benchmark suites the paper's tables run over.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -40,6 +42,16 @@ impl Suite {
             Suite::Ispd19 => CaseParams::ispd19_like(idx),
         }
     }
+
+    /// Loads every `*.def` file in `dir` as an externally ingested case, in
+    /// file-name order (see [`crate::cases_from_def_dir`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O, parse and lowering errors from the LEF/DEF files.
+    pub fn from_def_dir(dir: &Path) -> Result<Vec<Case>, LefDefError> {
+        crate::cases_from_def_dir(dir)
+    }
 }
 
 /// The ten ISPD-2018-like cases, in order (`test1` .. `test10`).
@@ -64,18 +76,18 @@ pub fn ispd19_suite() -> Vec<CaseParams> {
 /// # Panics
 ///
 /// Panics if an index is not in `1..=10` or the scale factor is not positive.
-pub fn run_suite(suite: Suite, indices: &[usize], scale: f64) -> Vec<CaseParams> {
+pub fn run_suite(suite: Suite, indices: &[usize], scale: f64) -> Vec<Case> {
     let all: Vec<usize> = (1..=10).collect();
     let picked = if indices.is_empty() { &all } else { indices };
     picked
         .iter()
         .map(|&idx| {
             let params = suite.case(idx);
-            if (scale - 1.0).abs() < f64::EPSILON {
+            Case::synthetic(if (scale - 1.0).abs() < f64::EPSILON {
                 params
             } else {
                 params.scaled(scale)
-            }
+            })
         })
         .collect()
 }
@@ -116,16 +128,23 @@ mod tests {
     #[test]
     fn run_suite_defaults_to_all_ten_unscaled() {
         let cases = run_suite(Suite::Ispd18, &[], 1.0);
-        assert_eq!(cases, ispd18_suite());
-        assert!(cases.iter().all(|c| !c.name.contains("_x")));
+        let params: Vec<CaseParams> = cases.iter().map(|c| c.params().unwrap().clone()).collect();
+        assert_eq!(params, ispd18_suite());
+        assert!(cases.iter().all(|c| !c.name().contains("_x")));
     }
 
     #[test]
     fn run_suite_picks_indices_in_order_and_scales() {
         let cases = run_suite(Suite::Ispd19, &[4, 2], 0.5);
         assert_eq!(cases.len(), 2);
-        assert_eq!(cases[0], CaseParams::ispd19_like(4).scaled(0.5));
-        assert_eq!(cases[1], CaseParams::ispd19_like(2).scaled(0.5));
+        assert_eq!(
+            cases[0].params(),
+            Some(&CaseParams::ispd19_like(4).scaled(0.5))
+        );
+        assert_eq!(
+            cases[1].params(),
+            Some(&CaseParams::ispd19_like(2).scaled(0.5))
+        );
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Structured errors with source positions.
+
+use std::fmt;
+use tpl_design::DesignError;
+
+/// A syntax error in a LEF or DEF source, located by line and column.
+///
+/// Both coordinates are 1-based, the way editors display them.  The message
+/// names what the parser expected or rejected at that position; the error
+/// never carries partial parse state, so callers can safely retry with a
+/// fixed input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending token (the last line for end-of-file).
+    pub line: usize,
+    /// 1-based column of the offending token.
+    pub col: usize,
+    /// What went wrong, in terms of the grammar.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Creates an error at a position.
+    pub fn new(line: usize, col: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "line {}, column {}: {}",
+            self.line, self.col, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Any failure while turning LEF/DEF sources into a routable design.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum LefDefError {
+    /// A syntax error in the LEF source.
+    Lef(ParseError),
+    /// A syntax error in the DEF source.
+    Def(ParseError),
+    /// The sources parsed but are semantically unusable together (unknown
+    /// layer/macro/pin references, mismatched units, unsupported features).
+    Lower(String),
+    /// The lowered data failed `tpl-design`'s own validation.
+    Design(DesignError),
+    /// A source file could not be read.
+    Io {
+        /// The path that failed.
+        path: String,
+        /// The underlying I/O error message.
+        message: String,
+    },
+}
+
+impl fmt::Display for LefDefError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LefDefError::Lef(e) => write!(f, "LEF: {e}"),
+            LefDefError::Def(e) => write!(f, "DEF: {e}"),
+            LefDefError::Lower(m) => write!(f, "lowering: {m}"),
+            LefDefError::Design(e) => write!(f, "design validation: {e}"),
+            LefDefError::Io { path, message } => write!(f, "cannot read {path}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for LefDefError {}
+
+impl From<DesignError> for LefDefError {
+    fn from(e: DesignError) -> Self {
+        LefDefError::Design(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_error_displays_position_first() {
+        let e = ParseError::new(12, 7, "expected `;`");
+        assert_eq!(e.to_string(), "line 12, column 7: expected `;`");
+    }
+
+    #[test]
+    fn lefdef_error_tags_the_source() {
+        let e = LefDefError::Def(ParseError::new(1, 1, "x"));
+        assert!(e.to_string().starts_with("DEF: line 1"));
+        let e = LefDefError::Lower("units differ".into());
+        assert!(e.to_string().contains("units differ"));
+    }
+}

@@ -1,0 +1,314 @@
+//! Shared tokenizer and parse cursor for the LEF and DEF grammars.
+//!
+//! Both formats are whitespace-separated token streams with `#` line
+//! comments, `;` statement terminators and parenthesised points.  The lexer
+//! keeps `(`, `)` and `;` as standalone tokens even when glued to a word and
+//! records the 1-based line/column of every token so parse errors point at
+//! real source positions.
+
+use crate::ParseError;
+use tpl_geom::Dbu;
+
+/// One token with its source position.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// The token text (never empty).
+    pub text: &'a str,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column of the token's first character.
+    pub col: usize,
+}
+
+/// Splits a source into tokens; `#` comments run to end of line.
+pub fn tokenize(src: &str) -> Vec<Token<'_>> {
+    let mut tokens = Vec::new();
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = match raw.find('#') {
+            Some(i) => &raw[..i],
+            None => raw,
+        };
+        let mut start: Option<usize> = None;
+        for (i, ch) in line.char_indices() {
+            let is_punct = matches!(ch, '(' | ')' | ';');
+            if ch.is_whitespace() || is_punct {
+                if let Some(s) = start.take() {
+                    tokens.push(Token {
+                        text: &line[s..i],
+                        line: lineno + 1,
+                        col: s + 1,
+                    });
+                }
+                if is_punct {
+                    tokens.push(Token {
+                        text: &line[i..i + ch.len_utf8()],
+                        line: lineno + 1,
+                        col: i + 1,
+                    });
+                }
+            } else if start.is_none() {
+                start = Some(i);
+            }
+        }
+        if let Some(s) = start {
+            tokens.push(Token {
+                text: &line[s..],
+                line: lineno + 1,
+                col: s + 1,
+            });
+        }
+    }
+    tokens
+}
+
+/// A cursor over the token stream with positioned error helpers.
+pub struct Cursor<'a> {
+    tokens: Vec<Token<'a>>,
+    pos: usize,
+    last_line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Tokenizes a source and positions the cursor at its start.
+    pub fn new(src: &'a str) -> Self {
+        let tokens = tokenize(src);
+        let last_line = src.lines().count().max(1);
+        Cursor {
+            tokens,
+            pos: 0,
+            last_line,
+        }
+    }
+
+    /// The next token without consuming it.
+    pub fn peek(&self) -> Option<Token<'a>> {
+        self.tokens.get(self.pos).copied()
+    }
+
+    /// Consumes and returns the next token, or errors at end of file.
+    pub fn next(&mut self, expected: &str) -> Result<Token<'a>, ParseError> {
+        match self.tokens.get(self.pos) {
+            Some(t) => {
+                self.pos += 1;
+                Ok(*t)
+            }
+            None => Err(self.eof(expected)),
+        }
+    }
+
+    /// Consumes the next token, requiring its exact text.
+    pub fn expect(&mut self, text: &str) -> Result<(), ParseError> {
+        let t = self.next(&format!("`{text}`"))?;
+        if t.text == text {
+            Ok(())
+        } else {
+            Err(err_at(t, format!("expected `{text}`, found `{}`", t.text)))
+        }
+    }
+
+    /// `true` when the next token matches, consuming it.
+    pub fn eat(&mut self, text: &str) -> bool {
+        if self.peek().is_some_and(|t| t.text == text) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes a token as an identifier-like word.
+    pub fn word(&mut self, what: &str) -> Result<Token<'a>, ParseError> {
+        let t = self.next(what)?;
+        if matches!(t.text, "(" | ")" | ";") {
+            return Err(err_at(t, format!("expected {what}, found `{}`", t.text)));
+        }
+        Ok(t)
+    }
+
+    /// Consumes a token as a signed integer (DEF database units).
+    pub fn int(&mut self, what: &str) -> Result<Dbu, ParseError> {
+        let t = self.word(what)?;
+        t.text
+            .parse::<Dbu>()
+            .map_err(|_| err_at(t, format!("expected {what} (integer), found `{}`", t.text)))
+    }
+
+    /// Consumes a token as an exact decimal micron value, scaled to database
+    /// units (see [`parse_microns`]).
+    pub fn microns(&mut self, what: &str, dbu_per_micron: Dbu) -> Result<Dbu, ParseError> {
+        let t = self.word(what)?;
+        parse_microns(t.text, dbu_per_micron).map_err(|m| err_at(t, m))
+    }
+
+    /// Consumes tokens up to and including the next `;`.
+    pub fn skip_statement(&mut self) -> Result<(), ParseError> {
+        loop {
+            let t = self.next("`;`")?;
+            if t.text == ";" {
+                return Ok(());
+            }
+        }
+    }
+
+    /// An end-of-file error located at the last source line.
+    pub fn eof(&self, expected: &str) -> ParseError {
+        ParseError::new(
+            self.last_line,
+            1,
+            format!("unexpected end of file, expected {expected}"),
+        )
+    }
+}
+
+/// Positions an error at a token.
+pub fn err_at(token: Token<'_>, message: impl Into<String>) -> ParseError {
+    ParseError::new(token.line, token.col, message)
+}
+
+/// Parses a decimal micron value into database units **exactly**.
+///
+/// LEF distances are decimal microns; multiplying by a float `dbu_per_micron`
+/// would round. Instead the integer and fractional digits are scaled by
+/// digit-shifting, which is exact whenever `dbu_per_micron` is a power of ten
+/// (the only case this subset supports). A fraction finer than one database
+/// unit is rejected rather than silently rounded.
+pub fn parse_microns(text: &str, dbu_per_micron: Dbu) -> Result<Dbu, String> {
+    let digits = decimal_digits(dbu_per_micron)
+        .ok_or_else(|| format!("DATABASE MICRONS {dbu_per_micron} is not a power of ten"))?;
+    let (sign, body) = match text.strip_prefix('-') {
+        Some(rest) => (-1, rest),
+        None => (1, text),
+    };
+    let (int_part, frac_part) = match body.split_once('.') {
+        Some((i, f)) => (i, f),
+        None => (body, ""),
+    };
+    if (int_part.is_empty() && frac_part.is_empty())
+        || !int_part.bytes().all(|b| b.is_ascii_digit())
+        || !frac_part.bytes().all(|b| b.is_ascii_digit())
+    {
+        return Err(format!("expected a decimal number, found `{text}`"));
+    }
+    if frac_part.len() > digits && frac_part[digits..].bytes().any(|b| b != b'0') {
+        return Err(format!(
+            "`{text}` is finer than one database unit (1/{dbu_per_micron} micron)"
+        ));
+    }
+    let int_value: Dbu = if int_part.is_empty() {
+        0
+    } else {
+        int_part
+            .parse()
+            .map_err(|_| format!("number `{text}` is out of range"))?
+    };
+    let mut frac_value: Dbu = 0;
+    for (i, b) in frac_part.bytes().take(digits).enumerate() {
+        let place = Dbu::pow(10, (digits - 1 - i) as u32);
+        frac_value += Dbu::from(b - b'0') * place;
+    }
+    int_value
+        .checked_mul(dbu_per_micron)
+        .and_then(|v| v.checked_add(frac_value))
+        .map(|v| sign * v)
+        .ok_or_else(|| format!("number `{text}` is out of range"))
+}
+
+/// Formats a database-unit distance as an exact decimal micron string, the
+/// inverse of [`parse_microns`].
+pub fn format_microns(value: Dbu, dbu_per_micron: Dbu) -> String {
+    let digits =
+        decimal_digits(dbu_per_micron).expect("writer technologies use power-of-ten units");
+    let sign = if value < 0 { "-" } else { "" };
+    let magnitude = value.abs();
+    let int_part = magnitude / dbu_per_micron;
+    let frac_part = magnitude % dbu_per_micron;
+    if frac_part == 0 {
+        return format!("{sign}{int_part}");
+    }
+    let mut frac = format!("{frac_part:0width$}", width = digits);
+    while frac.ends_with('0') {
+        frac.pop();
+    }
+    format!("{sign}{int_part}.{frac}")
+}
+
+/// `Some(k)` when `value == 10^k`, else `None`.
+fn decimal_digits(value: Dbu) -> Option<usize> {
+    let mut v = value;
+    let mut digits = 0;
+    while v > 1 {
+        if v % 10 != 0 {
+            return None;
+        }
+        v /= 10;
+        digits += 1;
+    }
+    (v == 1).then_some(digits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizer_splits_punctuation_and_tracks_positions() {
+        let toks = tokenize("DIEAREA ( 0 0 ) ( 800 800 ) ;\nEND DESIGN # trailing\n");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text).collect();
+        assert_eq!(
+            texts,
+            vec!["DIEAREA", "(", "0", "0", ")", "(", "800", "800", ")", ";", "END", "DESIGN"]
+        );
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[10].line, toks[10].col), (2, 1));
+    }
+
+    #[test]
+    fn tokenizer_handles_glued_semicolons() {
+        let toks = tokenize("PITCH 0.02;END");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text).collect();
+        assert_eq!(texts, vec!["PITCH", "0.02", ";", "END"]);
+    }
+
+    #[test]
+    fn cursor_reports_eof_with_last_line() {
+        let mut c = Cursor::new("LAYER M1\nTYPE ROUTING");
+        while c.peek().is_some() {
+            c.next("token").unwrap();
+        }
+        let err = c.next("`;`").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("end of file"));
+    }
+
+    #[test]
+    fn microns_parse_exactly() {
+        assert_eq!(parse_microns("0.008", 1000), Ok(8));
+        assert_eq!(parse_microns("4.5", 1000), Ok(4500));
+        assert_eq!(parse_microns("45", 1000), Ok(45000));
+        assert_eq!(parse_microns("-0.01", 1000), Ok(-10));
+        assert_eq!(parse_microns(".25", 100), Ok(25));
+        assert_eq!(parse_microns("0.0080", 1000), Ok(8));
+    }
+
+    #[test]
+    fn microns_reject_bad_and_too_fine_values() {
+        assert!(parse_microns("0.0005", 1000).unwrap_err().contains("finer"));
+        assert!(parse_microns("abc", 1000).is_err());
+        assert!(parse_microns("1.2.3", 1000).is_err());
+        assert!(parse_microns("", 1000).is_err());
+        assert!(parse_microns("1", 1024)
+            .unwrap_err()
+            .contains("power of ten"));
+    }
+
+    #[test]
+    fn microns_format_round_trips() {
+        for v in [0, 8, 45, 4500, -10, 123456, 1000] {
+            let s = format_microns(v, 1000);
+            assert_eq!(parse_microns(&s, 1000), Ok(v), "value {v} via `{s}`");
+        }
+        assert_eq!(format_microns(8, 1000), "0.008");
+        assert_eq!(format_microns(45, 1000), "0.045");
+        assert_eq!(format_microns(2000, 1000), "2");
+    }
+}

@@ -1,0 +1,442 @@
+//! Lowering a parsed (LEF, DEF) pair into the `tpl-design` model.
+//!
+//! The lowering is the semantic half of ingestion: it cross-checks the two
+//! sources (units, layer/macro/pin references), resolves component pin
+//! geometry to absolute coordinates and produces a validated
+//! [`Design`] — plus a [`RoutingSolution`] when the DEF carries `+ ROUTED`
+//! wiring.
+//!
+//! Conventions of the subset:
+//!
+//! * Only net-referenced pins become design pins (a [`Design`] pin always
+//!   belongs to a net).  Unreferenced DEF pins and unreferenced macro pin
+//!   ports are kept as **colourable obstacles** so their metal still blocks
+//!   and colours the layout.
+//! * Macro `OBS` shapes are routing **blockages** (non-colourable).
+//! * `SPECIALNETS` shapes are colourable obstacles under `+ USE SIGNAL` and
+//!   blockages under every other use class (power/ground rails are not
+//!   subject to triple patterning in this model).
+//! * The TPL colour distance comes from the LEF `TPLCOLORSPACING`
+//!   statement; without it, the canonical 2.25 × (minimum pitch) of the
+//!   synthetic suites is assumed.
+
+use crate::def::{DefDesign, DefTerminal, DefWire};
+use crate::lef::{LefLibrary, LefMacro};
+use crate::LefDefError;
+use std::collections::HashMap;
+use tpl_design::{
+    Design, DesignBuilder, Layer, LayerId, NetId, RouteSegment, RoutedNet, RoutingSolution,
+    Technology, ViaInstance,
+};
+use tpl_geom::{Point, Rect, Segment};
+
+/// The result of lowering: the design plus any pre-routed wiring.
+#[derive(Clone, Debug)]
+pub struct LoweredDesign {
+    /// The validated design.
+    pub design: Design,
+    /// The `+ ROUTED` wiring of the DEF, when any net carried some.
+    pub routing: Option<RoutingSolution>,
+}
+
+fn lower_err(message: impl Into<String>) -> LefDefError {
+    LefDefError::Lower(message.into())
+}
+
+/// Lowers a parsed LEF library and DEF design into the `tpl-design` model.
+///
+/// # Errors
+///
+/// [`LefDefError::Lower`] on unit mismatches and dangling references,
+/// [`LefDefError::Design`] when `tpl-design`'s own validation rejects the
+/// result (e.g. single-pin nets, geometry outside the die).
+pub fn lower(lef: &LefLibrary, def: &DefDesign) -> Result<LoweredDesign, LefDefError> {
+    if lef.dbu_per_micron != def.dbu_per_micron {
+        return Err(lower_err(format!(
+            "unit mismatch: LEF has {} database units per micron, DEF has {}",
+            lef.dbu_per_micron, def.dbu_per_micron
+        )));
+    }
+    if lef.layers.is_empty() {
+        return Err(lower_err("the LEF defines no ROUTING layers"));
+    }
+
+    // Technology: LEF layer order is the stack order.
+    let layers: Vec<Layer> = lef
+        .layers
+        .iter()
+        .map(|l| {
+            Layer::new(
+                l.name.clone(),
+                l.axis,
+                l.pitch,
+                l.offset,
+                l.width,
+                l.spacing,
+            )
+        })
+        .collect();
+    let min_pitch = lef.layers.iter().map(|l| l.pitch).min().unwrap_or(1);
+    let dcolor = lef.dcolor.unwrap_or(2 * min_pitch + min_pitch / 4);
+    let tech = Technology::new(layers, dcolor, lef.dbu_per_micron)?;
+    let layer_ids: HashMap<&str, u32> = lef
+        .layers
+        .iter()
+        .enumerate()
+        .map(|(i, l)| (l.name.as_str(), i as u32))
+        .collect();
+    let layer_id = |name: &str, what: &str| -> Result<u32, LefDefError> {
+        layer_ids
+            .get(name)
+            .copied()
+            .ok_or_else(|| lower_err(format!("{what} references unknown layer `{name}`")))
+    };
+
+    let macros: HashMap<&str, &LefMacro> =
+        lef.macros.iter().map(|m| (m.name.as_str(), m)).collect();
+
+    // Which pin names the NETS section references.
+    let mut referenced: HashMap<String, bool> = HashMap::new();
+    for net in &def.nets {
+        for term in &net.terminals {
+            referenced.insert(terminal_name(term), false);
+        }
+    }
+
+    let mut builder = DesignBuilder::new(def.name.clone(), tech, def.die);
+    let mut pin_ids: HashMap<String, tpl_design::PinId> = HashMap::new();
+    // Unreferenced metal collected as colourable obstacles, after the
+    // special nets and macro obstructions.
+    let mut leftover: Vec<(u32, Rect)> = Vec::new();
+
+    // Top-level DEF pins, in file order.
+    for pin in &def.pins {
+        let mut shapes: Vec<(LayerId, Rect)> = Vec::new();
+        for (layer, rect) in &pin.shapes {
+            let id = layer_id(layer, &format!("pin {}", pin.name))?;
+            shapes.push((LayerId::new(id), translate(*rect, pin.at)));
+        }
+        if let Some(seen) = referenced.get_mut(pin.name.as_str()) {
+            if shapes.is_empty() {
+                return Err(lower_err(format!(
+                    "pin {} is connected to a net but has no LAYER geometry",
+                    pin.name
+                )));
+            }
+            *seen = true;
+            pin_ids.insert(pin.name.clone(), builder.add_pin(pin.name.clone(), shapes));
+        } else {
+            leftover.extend(shapes.into_iter().map(|(l, r)| (l.index() as u32, r)));
+        }
+    }
+
+    // Component pins, in (component, macro pin) order.
+    for comp in &def.components {
+        let mac = macros.get(comp.macro_name.as_str()).ok_or_else(|| {
+            lower_err(format!(
+                "component {} references unknown macro `{}`",
+                comp.name, comp.macro_name
+            ))
+        })?;
+        for pin in &mac.pins {
+            let name = format!("{}/{}", comp.name, pin.name);
+            let mut shapes: Vec<(LayerId, Rect)> = Vec::new();
+            for (layer, rect) in &pin.ports {
+                let id = layer_id(layer, &format!("macro pin {name}"))?;
+                shapes.push((LayerId::new(id), translate(*rect, comp.at)));
+            }
+            if let Some(seen) = referenced.get_mut(name.as_str()) {
+                if shapes.is_empty() {
+                    return Err(lower_err(format!(
+                        "component pin {name} is connected to a net but its macro port is empty"
+                    )));
+                }
+                *seen = true;
+                pin_ids.insert(name.clone(), builder.add_pin(name, shapes));
+            } else {
+                leftover.extend(shapes.into_iter().map(|(l, r)| (l.index() as u32, r)));
+            }
+        }
+    }
+
+    if let Some((name, _)) = referenced.iter().find(|(_, seen)| !**seen) {
+        return Err(lower_err(format!(
+            "net terminal `{name}` matches no DEF pin and no placed component pin"
+        )));
+    }
+
+    // Nets, in file order.
+    for net in &def.nets {
+        let ids = net
+            .terminals
+            .iter()
+            .map(|t| pin_ids[&terminal_name(t)])
+            .collect();
+        builder.add_net(net.name.clone(), ids);
+    }
+
+    // Special nets: obstacles in file order, rects before wires.
+    for snet in &def.special_nets {
+        let colorable = snet.use_class == "SIGNAL";
+        let mut add = |layer: u32, rect: Rect| {
+            if colorable {
+                builder.add_obstacle(layer, rect);
+            } else {
+                builder.add_blockage(layer, rect);
+            }
+        };
+        for (layer, rect) in &snet.rects {
+            add(
+                layer_id(layer, &format!("special net {}", snet.name))?,
+                *rect,
+            );
+        }
+        for (layer, width, a, b) in &snet.wires {
+            let id = layer_id(layer, &format!("special net {}", snet.name))?;
+            check_axis_aligned(*a, *b, &format!("special net {}", snet.name))?;
+            let rect = Segment::new(*a, *b).to_rect(*width);
+            add(id, rect);
+        }
+    }
+
+    // Macro obstructions: routing blockages.
+    for comp in &def.components {
+        let mac = macros[comp.macro_name.as_str()];
+        for (layer, rect) in &mac.obs {
+            let id = layer_id(layer, &format!("macro {} OBS", mac.name))?;
+            builder.add_blockage(id, translate(*rect, comp.at));
+        }
+    }
+
+    // Unreferenced pin metal, colourable.
+    for (layer, rect) in leftover {
+        builder.add_obstacle(layer, rect);
+    }
+
+    let design = builder.build()?;
+
+    // Pre-routed wiring, when present.
+    let has_wiring = def.nets.iter().any(|n| !n.routed.is_empty());
+    let routing = if has_wiring {
+        let mut solution = RoutingSolution::new(design.nets().len());
+        for (idx, net) in def.nets.iter().enumerate() {
+            if net.routed.is_empty() {
+                continue;
+            }
+            let mut routed = RoutedNet::new();
+            for wire in &net.routed {
+                match wire {
+                    DefWire::Segment { layer, a, b } => {
+                        let id = layer_id(layer, &format!("net {} wiring", net.name))?;
+                        check_axis_aligned(*a, *b, &format!("net {} wiring", net.name))?;
+                        let width = design.tech().layer(LayerId::new(id)).width;
+                        routed.segments.push(RouteSegment::new(
+                            LayerId::new(id),
+                            Segment::new(*a, *b),
+                            width,
+                        ));
+                    }
+                    DefWire::Via { layer, at } => {
+                        let id = layer_id(layer, &format!("net {} wiring", net.name))?;
+                        if id as usize + 1 >= design.tech().num_layers() {
+                            return Err(lower_err(format!(
+                                "net {} has a via on the top layer `{layer}`",
+                                net.name
+                            )));
+                        }
+                        routed.vias.push(ViaInstance::new(LayerId::new(id), *at));
+                    }
+                }
+            }
+            solution.set(NetId::from(idx), routed);
+        }
+        Some(solution)
+    } else {
+        None
+    };
+
+    Ok(LoweredDesign { design, routing })
+}
+
+/// The design-level pin name a terminal resolves to.
+fn terminal_name(term: &DefTerminal) -> String {
+    match term {
+        DefTerminal::Pin(name) => name.clone(),
+        DefTerminal::Component(inst, pin) => format!("{inst}/{pin}"),
+    }
+}
+
+/// Rejects diagonal wiring (the model only supports Manhattan geometry).
+fn check_axis_aligned(a: Point, b: Point, what: &str) -> Result<(), LefDefError> {
+    if a.x == b.x || a.y == b.y {
+        Ok(())
+    } else {
+        Err(lower_err(format!(
+            "{what} contains a non-axis-aligned wire {a} -> {b}"
+        )))
+    }
+}
+
+/// Shifts a rectangle by a placement point.
+fn translate(rect: Rect, by: Point) -> Rect {
+    Rect::from_coords(
+        rect.lo.x + by.x,
+        rect.lo.y + by.y,
+        rect.hi.x + by.x,
+        rect.hi.y + by.y,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_def, parse_lef};
+
+    const LEF: &str = "\
+UNITS
+  DATABASE MICRONS 1000 ;
+END UNITS
+TPLCOLORSPACING 0.045 ;
+LAYER M1
+  TYPE ROUTING ;
+  DIRECTION HORIZONTAL ;
+  PITCH 0.02 ;
+  OFFSET 0.01 ;
+  WIDTH 0.008 ;
+  SPACING 0.008 ;
+END M1
+LAYER M2
+  TYPE ROUTING ;
+  DIRECTION VERTICAL ;
+  PITCH 0.02 ;
+  OFFSET 0.01 ;
+  WIDTH 0.008 ;
+  SPACING 0.008 ;
+END M2
+MACRO buf
+  SIZE 0.1 BY 0.1 ;
+  PIN a
+    PORT
+      LAYER M1 ;
+        RECT 0.006 0.006 0.014 0.014 ;
+    END
+  END a
+  PIN z
+    PORT
+      LAYER M1 ;
+        RECT 0.066 0.006 0.074 0.014 ;
+    END
+  END z
+  OBS
+    LAYER M2 ;
+      RECT 0.02 0.04 0.08 0.06 ;
+  END
+END buf
+END LIBRARY
+";
+
+    const DEF: &str = "\
+DESIGN lowered ;
+UNITS DISTANCE MICRONS 1000 ;
+DIEAREA ( 0 0 ) ( 800 800 ) ;
+COMPONENTS 1 ;
+- u1 buf + PLACED ( 100 100 ) N ;
+END COMPONENTS
+PINS 2 ;
+- in0 + NET n0 + LAYER M1 ( -4 -4 ) ( 4 4 ) + PLACED ( 110 310 ) N ;
+- dangling + LAYER M2 ( 200 200 ) ( 208 208 ) ;
+END PINS
+NETS 1 ;
+- n0 ( PIN in0 ) ( u1 a )
+  + ROUTED M1 ( 110 310 ) ( 110 110 )
+    NEW VIA M1 ( 110 310 ) ;
+END NETS
+SPECIALNETS 2 ;
+- keepout + USE SIGNAL + RECT M2 ( 300 300 ) ( 360 360 ) ;
+- vdd + ROUTED M2 20 ( 0 700 ) ( 800 700 ) ;
+END SPECIALNETS
+END DESIGN
+";
+
+    #[test]
+    fn lowers_pins_components_and_obstacles() {
+        let lef = parse_lef(LEF).unwrap();
+        let def = parse_def(DEF).unwrap();
+        let lowered = lower(&lef, &def).unwrap();
+        let d = &lowered.design;
+        assert_eq!(d.name(), "lowered");
+        assert_eq!(d.tech().num_layers(), 2);
+        assert_eq!(d.tech().dcolor(), 45);
+        // in0 (placed) and u1/a; `dangling` and u1/z fall through to
+        // obstacles.
+        assert_eq!(d.pins().len(), 2);
+        assert_eq!(d.pins()[0].name(), "in0");
+        assert_eq!(
+            d.pins()[0].shapes()[0].1,
+            Rect::from_coords(106, 306, 114, 314)
+        );
+        assert_eq!(d.pins()[1].name(), "u1/a");
+        assert_eq!(
+            d.pins()[1].shapes()[0].1,
+            Rect::from_coords(106, 106, 114, 114)
+        );
+        assert_eq!(d.nets().len(), 1);
+        assert_eq!(d.nets()[0].pin_count(), 2);
+        // Obstacles: keepout rect (colourable), vdd wire (blockage), macro
+        // OBS (blockage), dangling pin + u1/z port (colourable).
+        assert_eq!(d.obstacles().len(), 5);
+        assert!(d.obstacles()[0].colorable);
+        assert!(!d.obstacles()[1].colorable);
+        // Wire rects get square line caps: ends extend by half the width.
+        assert_eq!(d.obstacles()[1].rect, Rect::from_coords(-10, 690, 810, 710));
+        assert!(!d.obstacles()[2].colorable);
+        assert_eq!(d.obstacles()[2].rect, Rect::from_coords(120, 140, 180, 160));
+        assert!(d.obstacles()[3].colorable);
+        assert!(d.obstacles()[4].colorable);
+        // The + ROUTED clause became a one-net solution.
+        let routing = lowered.routing.expect("DEF carries wiring");
+        assert_eq!(routing.routed_count(), 1);
+        let rn = routing.get(NetId::new(0)).unwrap();
+        assert_eq!(rn.segments.len(), 1);
+        assert_eq!(rn.segments[0].width, 8);
+        assert_eq!(rn.vias.len(), 1);
+    }
+
+    #[test]
+    fn unit_mismatch_is_a_lower_error() {
+        let lef = parse_lef(LEF).unwrap();
+        let mut def = parse_def(DEF).unwrap();
+        def.dbu_per_micron = 100;
+        let err = lower(&lef, &def).unwrap_err();
+        assert!(err.to_string().contains("unit mismatch"), "{err}");
+    }
+
+    #[test]
+    fn unknown_terminal_is_a_lower_error() {
+        let lef = parse_lef(LEF).unwrap();
+        let mut def = parse_def(DEF).unwrap();
+        def.nets[0]
+            .terminals
+            .push(DefTerminal::Component("u9".into(), "a".into()));
+        let err = lower(&lef, &def).unwrap_err();
+        assert!(err.to_string().contains("u9/a"), "{err}");
+    }
+
+    #[test]
+    fn unknown_layer_is_a_lower_error() {
+        let lef = parse_lef(LEF).unwrap();
+        let mut def = parse_def(DEF).unwrap();
+        def.pins[0].shapes[0].0 = "M9".to_string();
+        let err = lower(&lef, &def).unwrap_err();
+        assert!(err.to_string().contains("M9"), "{err}");
+    }
+
+    #[test]
+    fn default_dcolor_is_2_25_pitches() {
+        let lef_no_dcolor = LEF.replace("TPLCOLORSPACING 0.045 ;\n", "");
+        let lef = parse_lef(&lef_no_dcolor).unwrap();
+        let def = parse_def(DEF).unwrap();
+        let lowered = lower(&lef, &def).unwrap();
+        assert_eq!(lowered.design.tech().dcolor(), 45);
+    }
+}

@@ -1,0 +1,408 @@
+//! Malformed-input suite: every way a LEF or DEF can be broken must come
+//! back as a positioned [`ParseError`] — never a panic, never a silently
+//! wrong value.
+//!
+//! Beyond targeted cases (bad units, unknown keywords, duplicates), two
+//! sweeps hammer the parsers with systematically damaged sources: every
+//! byte-prefix of a valid file (truncation at any point) and every
+//! token-replacement with garbage.  The sweeps assert only "returns
+//! `Result`, with an in-bounds position on `Err`" — the point is the
+//! absence of panics and of out-of-range line/column numbers.
+
+use tpl_lefdef::{parse_def, parse_lef, ParseError};
+
+const GOOD_LEF: &str = "\
+VERSION 5.8 ;
+BUSBITCHARS \"[]\" ;
+UNITS
+  DATABASE MICRONS 1000 ;
+END UNITS
+MANUFACTURINGGRID 0.001 ;
+TPLCOLORSPACING 0.045 ;
+LAYER M1
+  TYPE ROUTING ;
+  DIRECTION HORIZONTAL ;
+  PITCH 0.02 ;
+  OFFSET 0.01 ;
+  WIDTH 0.008 ;
+  SPACING 0.008 ;
+END M1
+LAYER via1
+  TYPE CUT ;
+END via1
+LAYER M2
+  TYPE ROUTING ;
+  DIRECTION VERTICAL ;
+  PITCH 0.02 ;
+  WIDTH 0.008 ;
+  SPACING 0.008 ;
+END M2
+SITE core
+  CLASS CORE ;
+  SIZE 0.02 BY 0.24 ;
+END core
+MACRO buf
+  CLASS CORE ;
+  SIZE 0.06 BY 0.06 ;
+  PIN a
+    DIRECTION INPUT ;
+    PORT
+      LAYER M1 ;
+        RECT 0.006 0.006 0.014 0.014 ;
+    END
+  END a
+  OBS
+    LAYER M2 ;
+      RECT 0.02 0.025 0.04 0.035 ;
+  END
+END buf
+END LIBRARY
+";
+
+const GOOD_DEF: &str = "\
+VERSION 5.8 ;
+DESIGN sweep ;
+UNITS DISTANCE MICRONS 1000 ;
+DIEAREA ( 0 0 ) ( 400 400 ) ;
+ROW core_0 core 0 0 N DO 20 BY 1 STEP 20 0 ;
+COMPONENTS 1 ;
+- u1 buf + PLACED ( 100 100 ) N ;
+END COMPONENTS
+PINS 2 ;
+- in0 + NET n0 + DIRECTION INPUT + USE SIGNAL
+  + LAYER M1 ( -4 -4 ) ( 4 4 ) + PLACED ( 110 110 ) N ;
+- out0 + NET n0 + LAYER M1 ( 306 106 ) ( 314 114 ) ;
+END PINS
+NETS 1 ;
+- n0 ( PIN in0 ) ( PIN out0 ) ( u1 a )
+  + ROUTED M1 ( 110 110 ) ( 310 110 )
+    NEW VIA M1 ( 310 110 ) ;
+END NETS
+SPECIALNETS 1 ;
+- vdd + USE POWER + RECT M2 ( 0 380 ) ( 400 400 )
+  + ROUTED M2 20 ( 0 300 ) ( 400 300 ) ;
+END SPECIALNETS
+END DESIGN
+";
+
+/// Checks an error's position is inside the source it came from.
+fn assert_in_bounds(src: &str, err: &ParseError, what: &str) {
+    let lines = src.lines().count().max(1);
+    assert!(
+        err.line >= 1 && err.line <= lines,
+        "{what}: line {} out of 1..={lines} for: {err}",
+        err.line
+    );
+    assert!(
+        err.col >= 1,
+        "{what}: column {} out of range for: {err}",
+        err.col
+    );
+}
+
+#[test]
+fn every_truncation_errors_without_panicking() {
+    assert!(parse_lef(GOOD_LEF).is_ok());
+    assert!(parse_def(GOOD_DEF).is_ok());
+    // Prefixes that only cut trailing whitespace after `END LIBRARY` /
+    // `END DESIGN` still parse; everything shorter must error in-bounds.
+    for end in 0..GOOD_LEF.len() {
+        let src = &GOOD_LEF[..end];
+        match parse_lef(src) {
+            Ok(_) => assert!(
+                src.trim_end().ends_with("END LIBRARY"),
+                "prefix {end} parsed"
+            ),
+            Err(err) => assert_in_bounds(GOOD_LEF, &err, "LEF truncation"),
+        }
+    }
+    for end in 0..GOOD_DEF.len() {
+        let src = &GOOD_DEF[..end];
+        match parse_def(src) {
+            Ok(_) => assert!(
+                src.trim_end().ends_with("END DESIGN"),
+                "prefix {end} parsed"
+            ),
+            Err(err) => assert_in_bounds(GOOD_DEF, &err, "DEF truncation"),
+        }
+    }
+}
+
+#[test]
+fn every_token_replacement_is_handled_without_panicking() {
+    // Replace each whitespace-separated token with a garbage word and make
+    // sure the parsers return (almost always an error, occasionally an Ok
+    // when the token was ignorable) rather than panic or loop.
+    for (source, is_lef) in [(GOOD_LEF, true), (GOOD_DEF, false)] {
+        let tokens: Vec<&str> = source.split_whitespace().collect();
+        for i in 0..tokens.len() {
+            let mut mutated = tokens.clone();
+            mutated[i] = "XqZ9";
+            let src = mutated.join(" ");
+            let result_err = if is_lef {
+                parse_lef(&src).err()
+            } else {
+                parse_def(&src).err()
+            };
+            if let Some(err) = result_err {
+                // Joined onto one line, so only the column can be checked.
+                assert!(err.col >= 1, "token {i}: {err}");
+            }
+        }
+    }
+}
+
+#[test]
+fn lef_bad_units_are_positioned_errors() {
+    let cases = [
+        (
+            "UNITS\n  DATABASE MICRONS abc ;\nEND UNITS\nEND LIBRARY\n",
+            "integer",
+        ),
+        (
+            "UNITS\n  DATABASE MICRONS 0 ;\nEND UNITS\nEND LIBRARY\n",
+            "positive",
+        ),
+        (
+            "UNITS\n  DATABASE MICRONS -100 ;\nEND UNITS\nEND LIBRARY\n",
+            "positive",
+        ),
+        (
+            "UNITS\n  DATABASE MICRONS 1024 ;\nEND UNITS\nEND LIBRARY\n",
+            "power of ten",
+        ),
+    ];
+    for (src, needle) in cases {
+        let err = parse_lef(src).unwrap_err();
+        assert!(err.message.contains(needle), "`{needle}` not in: {err}");
+        assert_eq!(err.line, 2, "for: {err}");
+        assert_eq!(err.col, 20, "for: {err}");
+    }
+}
+
+#[test]
+fn lef_distance_finer_than_a_dbu_is_rejected() {
+    let src = "\
+UNITS
+  DATABASE MICRONS 100 ;
+END UNITS
+LAYER M1
+  TYPE ROUTING ;
+  DIRECTION HORIZONTAL ;
+  PITCH 0.015 ;
+  WIDTH 0.01 ;
+  SPACING 0.01 ;
+END M1
+END LIBRARY
+";
+    let err = parse_lef(src).unwrap_err();
+    assert!(
+        err.message.contains("finer than one database unit"),
+        "{err}"
+    );
+    assert_eq!((err.line, err.col), (7, 9), "{err}");
+}
+
+#[test]
+fn lef_distances_before_units_are_rejected() {
+    let err = parse_lef("TPLCOLORSPACING 0.045 ;\nEND LIBRARY\n").unwrap_err();
+    assert!(err.message.contains("before the `UNITS"), "{err}");
+    assert_eq!(err.line, 1, "{err}");
+}
+
+#[test]
+fn lef_unknown_keywords_are_positioned_errors() {
+    let src = "\
+UNITS
+  DATABASE MICRONS 1000 ;
+END UNITS
+PROPERTYDEFINITIONS
+END PROPERTYDEFINITIONS
+END LIBRARY
+";
+    let err = parse_lef(src).unwrap_err();
+    assert!(
+        err.message
+            .contains("unknown LEF statement `PROPERTYDEFINITIONS`"),
+        "{err}"
+    );
+    assert_eq!((err.line, err.col), (4, 1), "{err}");
+}
+
+#[test]
+fn lef_duplicate_macros_and_pins_are_rejected() {
+    let dup_macro = "\
+UNITS
+  DATABASE MICRONS 1000 ;
+END UNITS
+MACRO buf
+  SIZE 0.06 BY 0.06 ;
+END buf
+MACRO buf
+  SIZE 0.06 BY 0.06 ;
+END buf
+END LIBRARY
+";
+    let err = parse_lef(dup_macro).unwrap_err();
+    assert!(err.message.contains("duplicate macro `buf`"), "{err}");
+    assert_eq!(err.line, 7, "{err}");
+
+    let dup_pin = "\
+UNITS
+  DATABASE MICRONS 1000 ;
+END UNITS
+MACRO buf
+  SIZE 0.06 BY 0.06 ;
+  PIN a
+  END a
+  PIN a
+  END a
+END buf
+END LIBRARY
+";
+    let err = parse_lef(dup_pin).unwrap_err();
+    assert!(err.message.contains("duplicate pin `a`"), "{err}");
+    assert_eq!(err.line, 8, "{err}");
+}
+
+#[test]
+fn def_bad_units_are_positioned_errors() {
+    for (units, needle) in [("abc", "integer"), ("0", "positive"), ("-1000", "positive")] {
+        let src = format!(
+            "DESIGN d ;\nUNITS DISTANCE MICRONS {units} ;\nDIEAREA ( 0 0 ) ( 9 9 ) ;\nEND DESIGN\n"
+        );
+        let err = parse_def(&src).unwrap_err();
+        assert!(err.message.contains(needle), "`{needle}` not in: {err}");
+        assert_eq!((err.line, err.col), (2, 24), "{err}");
+    }
+}
+
+#[test]
+fn def_unknown_keywords_are_positioned_errors() {
+    let src = "\
+DESIGN d ;
+UNITS DISTANCE MICRONS 1000 ;
+DIEAREA ( 0 0 ) ( 9 9 ) ;
+TRACKS X 10 DO 5 STEP 20 LAYER M1 ;
+END DESIGN
+";
+    let err = parse_def(src).unwrap_err();
+    assert!(
+        err.message.contains("unknown DEF statement `TRACKS`"),
+        "{err}"
+    );
+    assert_eq!((err.line, err.col), (4, 1), "{err}");
+
+    let src = "\
+DESIGN d ;
+UNITS DISTANCE MICRONS 1000 ;
+DIEAREA ( 0 0 ) ( 9 9 ) ;
+PINS 1 ;
+- p0 + ANTENNAPINGATEAREA 1 ;
+END PINS
+END DESIGN
+";
+    let err = parse_def(src).unwrap_err();
+    assert!(err.message.contains("unknown pin property"), "{err}");
+    assert_eq!((err.line, err.col), (5, 8), "{err}");
+}
+
+#[test]
+fn def_duplicate_names_are_positioned_errors() {
+    let dup_net = "\
+DESIGN d ;
+UNITS DISTANCE MICRONS 1000 ;
+DIEAREA ( 0 0 ) ( 100 100 ) ;
+PINS 2 ;
+- a + LAYER M1 ( 0 0 ) ( 8 8 ) ;
+- b + LAYER M1 ( 20 20 ) ( 28 28 ) ;
+END PINS
+NETS 2 ;
+- n0 ( PIN a ) ;
+- n0 ( PIN b ) ;
+END NETS
+END DESIGN
+";
+    let err = parse_def(dup_net).unwrap_err();
+    assert!(err.message.contains("duplicate net `n0`"), "{err}");
+    assert_eq!((err.line, err.col), (10, 3), "{err}");
+
+    let dup_pin = "\
+DESIGN d ;
+UNITS DISTANCE MICRONS 1000 ;
+DIEAREA ( 0 0 ) ( 100 100 ) ;
+PINS 2 ;
+- a + LAYER M1 ( 0 0 ) ( 8 8 ) ;
+- a + LAYER M1 ( 20 20 ) ( 28 28 ) ;
+END PINS
+END DESIGN
+";
+    let err = parse_def(dup_pin).unwrap_err();
+    assert!(err.message.contains("duplicate pin `a`"), "{err}");
+    assert_eq!(err.line, 6, "{err}");
+
+    let dup_comp = "\
+DESIGN d ;
+UNITS DISTANCE MICRONS 1000 ;
+DIEAREA ( 0 0 ) ( 100 100 ) ;
+COMPONENTS 2 ;
+- u1 buf + PLACED ( 0 0 ) N ;
+- u1 inv + PLACED ( 20 0 ) N ;
+END COMPONENTS
+END DESIGN
+";
+    let err = parse_def(dup_comp).unwrap_err();
+    assert!(err.message.contains("duplicate component `u1`"), "{err}");
+    assert_eq!(err.line, 6, "{err}");
+}
+
+#[test]
+fn def_section_count_mismatches_are_errors() {
+    let src = "\
+DESIGN d ;
+UNITS DISTANCE MICRONS 1000 ;
+DIEAREA ( 0 0 ) ( 100 100 ) ;
+NETS 5 ;
+END NETS
+END DESIGN
+";
+    let err = parse_def(src).unwrap_err();
+    assert!(
+        err.message.contains("declares 5 entries but contains 0"),
+        "{err}"
+    );
+}
+
+#[test]
+fn def_bad_coordinates_are_positioned_errors() {
+    let src = "\
+DESIGN d ;
+UNITS DISTANCE MICRONS 1000 ;
+DIEAREA ( 0 0 ) ( 4.5 100 ) ;
+END DESIGN
+";
+    let err = parse_def(src).unwrap_err();
+    assert!(err.message.contains("integer"), "{err}");
+    assert_eq!((err.line, err.col), (3, 19), "{err}");
+}
+
+#[test]
+fn missing_required_def_statements_are_errors() {
+    for (src, needle) in [
+        (
+            "UNITS DISTANCE MICRONS 1000 ;\nDIEAREA ( 0 0 ) ( 9 9 ) ;\nEND DESIGN\n",
+            "DESIGN",
+        ),
+        (
+            "DESIGN d ;\nDIEAREA ( 0 0 ) ( 9 9 ) ;\nEND DESIGN\n",
+            "UNITS",
+        ),
+        (
+            "DESIGN d ;\nUNITS DISTANCE MICRONS 1000 ;\nEND DESIGN\n",
+            "DIEAREA",
+        ),
+    ] {
+        let err = parse_def(src).unwrap_err();
+        assert!(err.message.contains(needle), "`{needle}` not in: {err}");
+    }
+}

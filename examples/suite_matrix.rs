@@ -9,7 +9,7 @@
 //! case of both ISPD-like suites with two workers — the smallest end-to-end
 //! tour of the execution engine behind `mrtpl-bench`.
 
-use mr_tpl::harness::{run_matrix, MethodRegistry, RunOptions, RunReport};
+use mr_tpl::harness::{run_matrix, InputProvenance, MethodRegistry, RunOptions, RunReport};
 use mr_tpl::ispd::{run_suite, Suite};
 
 fn main() {
@@ -54,6 +54,7 @@ fn main() {
 
     let report = RunReport {
         suite: "ispd18+ispd19".to_string(),
+        input: InputProvenance::Synthetic,
         scale,
         jobs: options.jobs,
         net_jobs: options.net_jobs,

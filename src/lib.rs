@@ -7,6 +7,8 @@
 //! * [`geom`] — integer Manhattan geometry.
 //! * [`design`] — technology, netlist and routing-solution model.
 //! * [`ispd`] — synthetic ISPD-2018/2019-like benchmarks and the cost scorer.
+//! * [`lefdef`] — LEF/DEF subset parsers, writers and lowering for ingesting
+//!   real designs.
 //! * [`global`] — the gcell global router producing route guides.
 //! * [`grid`] — the track-based detailed-routing grid graph.
 //! * [`color`] — colour states, verSets/segSets, conflict and stitch counting.
@@ -44,6 +46,7 @@ pub use tpl_global as global;
 pub use tpl_grid as grid;
 pub use tpl_harness as harness;
 pub use tpl_ispd as ispd;
+pub use tpl_lefdef as lefdef;
 pub use tpl_metrics as metrics;
 pub use tpl_par as par;
 

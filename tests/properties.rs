@@ -75,3 +75,75 @@ proptest! {
         }
     }
 }
+
+/// Lossless LEF/DEF round-trip: writing any design and parsing it back
+/// yields the same design.  Equality goes through the canonical
+/// `write_design` dump so names, order, technology, every shape and every
+/// colourable flag are all covered.
+fn assert_lefdef_round_trips(design: &mr_tpl::design::Design) -> Result<(), TestCaseError> {
+    use mr_tpl::lefdef::{lower, parse_def, parse_lef, write_def, write_lef};
+    let lef_src = write_lef(design.tech());
+    let def_src = write_def(design, None);
+    let lef = parse_lef(&lef_src).expect("written LEF parses");
+    let def = parse_def(&def_src).expect("written DEF parses");
+    let lowered = lower(&lef, &def).expect("written pair lowers");
+    prop_assert_eq!(
+        mr_tpl::design::write_design(&lowered.design),
+        mr_tpl::design::write_design(design)
+    );
+    prop_assert!(lowered.routing.is_none());
+    Ok(())
+}
+
+proptest! {
+    // The round-trip satellite runs a larger sample than the routing
+    // invariants above: writing + parsing is cheap, and the corners
+    // (obstacle mixes, multi-pin nets, odd die sizes) live in the tails.
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any synthetic benchmark survives design -> LEF/DEF -> parse ->
+    /// lower unchanged.
+    #[test]
+    fn lefdef_round_trip_preserves_random_designs(params in arb_roundtrip_case()) {
+        assert_lefdef_round_trips(&params.generate())?;
+    }
+}
+
+/// A wider parameter space than `arb_case`: both suite families, more
+/// scales, any seed — round-tripping is cheap enough to cover it.
+fn arb_roundtrip_case() -> impl Strategy<Value = CaseParams> {
+    (1usize..=10, any::<u16>(), 0u8..=1, 15u32..=40).prop_map(|(idx, salt, family, scale)| {
+        let mut params = if family == 0 {
+            CaseParams::ispd18_like(idx)
+        } else {
+            CaseParams::ispd19_like(idx)
+        }
+        .scaled(f64::from(scale) / 100.0);
+        params.seed = params.seed.wrapping_add(u64::from(salt));
+        params
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Routed wiring also survives the round-trip: route a random design,
+    /// write the solution into the DEF, parse it back and compare net by
+    /// net.
+    #[test]
+    fn lefdef_round_trip_preserves_routed_wiring(params in arb_case()) {
+        use mr_tpl::lefdef::{lower, parse_def, parse_lef, write_def, write_lef};
+        let design = params.generate();
+        let guides = GlobalRouter::new(GlobalConfig::default()).route(&design);
+        let result = MrTplRouter::new(MrTplConfig::default()).route(&design, &guides);
+        let lef = parse_lef(&write_lef(design.tech())).expect("written LEF parses");
+        let def_src = write_def(&design, Some(&result.solution));
+        let def = parse_def(&def_src).expect("written DEF parses");
+        let lowered = lower(&lef, &def).expect("written pair lowers");
+        let routing = lowered.routing.expect("wiring survives");
+        prop_assert_eq!(routing.routed_count(), result.solution.routed_count());
+        for net in design.nets() {
+            prop_assert_eq!(routing.get(net.id()), result.solution.get(net.id()));
+        }
+    }
+}

@@ -111,6 +111,18 @@ fn records_by_key(report: &JsonValue) -> Result<KeyedRecords<'_>, String> {
     Ok((ok, failed))
 }
 
+/// A record's counter value, where both a missing field and an explicit
+/// `null` count as absent.  Records of externally-ingested LEF/DEF cases
+/// can carry `null` for counters their flow does not track (e.g.
+/// `rrr_iterations` when the DEF arrived pre-routed), and `null` is also
+/// what non-finite floats serialize as; neither should be comparable.
+fn counter_value(record: &JsonValue, counter: &str) -> Option<f64> {
+    match record.get(counter) {
+        None | Some(JsonValue::Null) => None,
+        Some(value) => value.as_f64(),
+    }
+}
+
 /// Compares two parsed reports; the returned problems are in baseline record
 /// order, counters within a record in [`COUNTERS`] order.
 fn diff_reports(
@@ -134,8 +146,8 @@ fn diff_reports(
             // A counter absent on either side is skipped: reports from
             // before the column existed stay comparable.
             let (Some(old), Some(new)) = (
-                old_record.get(counter).and_then(JsonValue::as_f64),
-                new_record.get(counter).and_then(JsonValue::as_f64),
+                counter_value(old_record, counter),
+                counter_value(new_record, counter),
             ) else {
                 continue;
             };
@@ -284,6 +296,39 @@ mod tests {
         let old = report(&[("mrtpl", "t1", "ok", &[("conflicts", 1.0)])]);
         let new = report(&[("mrtpl", "t1", "ok", &[("wirelength", 9999.0)])]);
         assert_eq!(diff_reports(&old, &new, 0.25).unwrap(), vec![]);
+    }
+
+    /// Externally-ingested cases report `rrr_iterations: null` (their flow
+    /// has no rip-up-and-reroute loop); a `null` counter must behave exactly
+    /// like an absent one on either side of the diff.
+    #[test]
+    fn null_counters_of_ingested_cases_are_treated_as_absent() {
+        let with_null = |counters: &[(&str, f64)]| {
+            let JsonValue::Object(mut entries) = report(&[("mrtpl", "ingested", "ok", counters)])
+            else {
+                unreachable!("report() builds an object");
+            };
+            let JsonValue::Array(records) = &mut entries[0].1 else {
+                unreachable!("records is an array");
+            };
+            let JsonValue::Object(record) = &mut records[0] else {
+                unreachable!("record is an object");
+            };
+            record.push(("rrr_iterations".to_string(), JsonValue::Null));
+            JsonValue::Object(entries)
+        };
+        // null on both sides, null vs absent, and absent vs null: all clean,
+        // while a real counter alongside still fails.
+        let old_null = with_null(&[("conflicts", 1.0)]);
+        let new_null = with_null(&[("conflicts", 1.0)]);
+        assert_eq!(diff_reports(&old_null, &new_null, 0.25).unwrap(), vec![]);
+        let plain = report(&[("mrtpl", "ingested", "ok", &[("conflicts", 1.0)])]);
+        assert_eq!(diff_reports(&old_null, &plain, 0.25).unwrap(), vec![]);
+        assert_eq!(diff_reports(&plain, &new_null, 0.25).unwrap(), vec![]);
+        let worse = with_null(&[("conflicts", 9.0)]);
+        let problems = diff_reports(&old_null, &worse, 0.25).unwrap();
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].render().contains("conflicts 1 -> 9"));
     }
 
     #[test]
