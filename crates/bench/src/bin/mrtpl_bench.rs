@@ -82,8 +82,26 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("report written to {path}");
+        // Deterministic reports zero runtime_seconds for byte-stable
+        // comparison; keep the real wall-clock numbers in a sidecar that is
+        // never byte-compared.
+        if args.deterministic {
+            let sidecar = cli::timings_sidecar_path(path);
+            if let Err(e) = std::fs::write(&sidecar, report.timings_json()) {
+                eprintln!("error: cannot write {sidecar}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("timings written to {sidecar}");
+        }
     } else {
         print!("{rendered}");
+    }
+    if let Some(dir) = &args.trace {
+        if let Err(message) = cli::write_trace_outputs(&report, dir) {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("trace exports written to {dir}/");
     }
     let failed = report
         .records

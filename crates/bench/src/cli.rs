@@ -41,6 +41,9 @@ pub struct BenchArgs {
     pub lef: Option<String>,
     /// Zero wall-clock fields for byte-stable output.
     pub deterministic: bool,
+    /// Write trace exports (Chrome trace, per-phase metrics, wall-clock
+    /// timings) into this directory; also turns tracing on for the run.
+    pub trace: Option<String>,
     /// Print the method registry and exit.
     pub list_methods: bool,
     /// Print usage and exit.
@@ -61,6 +64,7 @@ impl Default for BenchArgs {
             def: None,
             lef: None,
             deterministic: false,
+            trace: None,
             list_methods: false,
             help: false,
         }
@@ -88,7 +92,13 @@ OPTIONS:
                             <stem>.lef, then tech.lef in its directory)
   --format <text|json>      output format (default: text)
   --out <PATH>              write the report to a file instead of stdout
-  --deterministic           zero wall-clock fields (byte-stable output)
+  --deterministic           zero wall-clock fields (byte-stable output);
+                            real runtimes go to a *.timings.json sidecar
+                            next to --out
+  --trace <DIR>             enable tpl-trace and write DIR/chrome.trace.json
+                            (load in chrome://tracing or Perfetto),
+                            DIR/metrics.json (report + per-phase counters)
+                            and DIR/timings.json; never changes the report
   --list-methods            print the method registry and exit
   --help                    print this help
 
@@ -148,6 +158,7 @@ pub fn parse_bench_args(args: impl Iterator<Item = String>) -> Result<BenchArgs,
             "--def" => parsed.def = Some(take("--def")?),
             "--lef" => parsed.lef = Some(take("--lef")?),
             "--out" => parsed.out = Some(take("--out")?),
+            "--trace" => parsed.trace = Some(take("--trace")?),
             "--deterministic" => parsed.deterministic = true,
             "--list-methods" => parsed.list_methods = true,
             "--help" | "-h" => parsed.help = true,
@@ -239,10 +250,14 @@ pub fn execute(args: &BenchArgs) -> Result<RunReport, String> {
             )
         }
     };
+    if args.trace.is_some() {
+        tpl_trace::enable();
+    }
     let options = RunOptions {
         jobs: args.jobs,
         net_jobs: args.net_jobs,
         deterministic: args.deterministic,
+        trace: args.trace.is_some(),
     };
     let records = run_matrix(&methods, &cases, &options);
     Ok(RunReport {
@@ -321,6 +336,45 @@ pub fn render_text(report: &RunReport) -> String {
     out
 }
 
+/// The `*.timings.json` sidecar path of a `--deterministic --out` report:
+/// `reports/foo.json` → `reports/foo.timings.json`.  Deterministic reports
+/// zero `runtime_seconds` for byte-stable comparison, so the real wall-clock
+/// numbers land next to the report instead of inside it.
+pub fn timings_sidecar_path(out: &str) -> String {
+    Path::new(out)
+        .with_extension("timings.json")
+        .to_string_lossy()
+        .into_owned()
+}
+
+/// Writes the three `--trace` exports into `dir`:
+///
+/// * `chrome.trace.json` — the raw event stream in Chrome `trace_event`
+///   format, loadable in `chrome://tracing` or Perfetto,
+/// * `metrics.json` — the JSON report plus a per-phase `phases` block on
+///   every traced record,
+/// * `timings.json` — real per-job wall-clock seconds (measured even in
+///   deterministic mode).
+///
+/// Draining the trace registry consumes the run's raw events, so this is
+/// called once, after the report is rendered.
+pub fn write_trace_outputs(report: &RunReport, dir: &str) -> Result<(), String> {
+    let dir = Path::new(dir);
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let dump = tpl_trace::drain();
+    let writes = [
+        ("chrome.trace.json", dump.to_chrome_json()),
+        ("metrics.json", report.to_json_with_phases()),
+        ("timings.json", report.timings_json()),
+    ];
+    for (name, contents) in writes {
+        let path = dir.join(name);
+        std::fs::write(&path, contents)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    Ok(())
+}
+
 /// Renders the method registry for `--list-methods`.
 pub fn render_method_list() -> String {
     let registry = MethodRegistry::builtin();
@@ -366,6 +420,8 @@ mod tests {
             "json",
             "--out",
             "report.json",
+            "--trace",
+            "out/trace",
             "--deterministic",
         ])
         .unwrap();
@@ -377,7 +433,17 @@ mod tests {
         assert_eq!(args.net_jobs, 4);
         assert_eq!(args.format, Format::Json);
         assert_eq!(args.out.as_deref(), Some("report.json"));
+        assert_eq!(args.trace.as_deref(), Some("out/trace"));
         assert!(args.deterministic);
+    }
+
+    #[test]
+    fn timings_sidecar_sits_next_to_the_report() {
+        assert_eq!(
+            timings_sidecar_path("reports/foo.json"),
+            "reports/foo.timings.json"
+        );
+        assert_eq!(timings_sidecar_path("foo"), "foo.timings.json");
     }
 
     #[test]

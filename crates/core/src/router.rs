@@ -52,6 +52,7 @@ impl MrTplRouter {
     /// function of the frozen state, the outcome is identical for every
     /// worker count; `jobs = 1` runs the same batched algorithm inline.
     pub fn route(&self, design: &Design, guides: &RouteGuides) -> MrTplResult {
+        let _route_span = tpl_trace::span!("core.route", nets = design.nets().len());
         let start = Instant::now();
         let grid = GridGraph::build(design);
         let coverage = PinCoverage::build(&grid, design);
@@ -89,17 +90,21 @@ impl MrTplRouter {
 
         let mut to_route: Vec<NetId> = order.clone();
         for iteration in 0..=self.config.max_rrr_iterations {
+            let _iter_span = tpl_trace::span!("core.rrr_iteration", iteration = iteration);
             stats.rrr_iterations = iteration;
             stats.failed_nets = 0;
 
             // Rip up every queued net before any of them reroutes, so all
             // tasks of this iteration start from the same committed state.
-            for &net_id in &to_route {
-                gstate.release_vertices(&net_vertices[net_id.index()], net_id);
-                map.remove_net(net_id);
-                solution.rip_up(net_id);
-                segment_masks[net_id.index()].clear();
-                net_vertices[net_id.index()].clear();
+            {
+                let _rip_span = tpl_trace::span!("core.rip_up", nets = to_route.len());
+                for &net_id in &to_route {
+                    gstate.release_vertices(&net_vertices[net_id.index()], net_id);
+                    map.remove_net(net_id);
+                    solution.rip_up(net_id);
+                    segment_masks[net_id.index()].clear();
+                    net_vertices[net_id.index()].clear();
+                }
             }
 
             let regions: Vec<Region> = to_route
@@ -115,6 +120,7 @@ impl MrTplRouter {
 
             for batch in plan_batches(&regions) {
                 let nets: Vec<NetId> = batch.iter().map(|&i| to_route[i]).collect();
+                tpl_trace::value!("core.batch_size", nets.len());
                 let routed = par_map_pooled(
                     par,
                     &nets,
@@ -144,6 +150,7 @@ impl MrTplRouter {
                         stats.failed_nets += 1;
                     }
                     stats.search_nodes += nodes;
+                    tpl_trace::counter!("core.search_nodes", nodes);
                     total_seg_sets += colored.seg_sets;
 
                     for &v in &vertices {
@@ -169,8 +176,11 @@ impl MrTplRouter {
             }
 
             // Conflict detection on the committed colour map.
+            let detect_span = tpl_trace::span!("core.conflict_detect");
             let layout = self.build_layout(design, &map);
             let conflicts = layout.conflicts();
+            drop(detect_span);
+            tpl_trace::counter!("core.conflicts_found", conflicts.len());
             stats.conflict_history.push(conflicts.len());
             if conflicts.is_empty() || iteration == self.config.max_rrr_iterations {
                 break;
@@ -274,6 +284,7 @@ impl MrTplRouter {
         guides: &RouteGuides,
         net_id: NetId,
     ) -> (ColoredNet, Vec<VertexId>, bool) {
+        let _net_span = tpl_trace::span!("core.route_net", net = net_id.index());
         let net = design.net(net_id);
         let in_guide = SearchContext::guide_membership(grid, guides, net_id);
         let ctx = SearchContext {
@@ -318,7 +329,10 @@ impl MrTplRouter {
                 })
                 .collect();
 
-            match search(&ctx, buffers, cache, &sources, &unreached) {
+            let search_span = tpl_trace::span!("core.color_search");
+            let found = search(&ctx, buffers, cache, &sources, &unreached);
+            drop(search_span);
+            match found {
                 Some((dst, pin)) => {
                     let path = backtrace(buffers, &mut arena, dst);
                     for &v in &path {
@@ -340,9 +354,11 @@ impl MrTplRouter {
             }
         }
 
+        let assign_span = tpl_trace::span!("core.assign");
         let colored = assign_and_emit(
             grid, design, coverage, &mut arena, buffers, cache, map, net_id, &paths,
         );
+        drop(assign_span);
         (colored, tree, complete)
     }
 }

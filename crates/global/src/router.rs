@@ -198,6 +198,7 @@ impl GlobalRouter {
     /// pure function of the frozen edge-demand map, so the result is identical
     /// for every worker count (`jobs = 1` runs the same algorithm inline).
     pub fn route_with_stats(&self, design: &Design) -> (RouteGuides, GlobalStats) {
+        let _route_span = tpl_trace::span!("global.route", nets = design.nets().len());
         let cfg = &self.config;
         let grid = GCellGrid::build(design, cfg.tracks_per_gcell);
         // Planar capacity: layers above M1 contribute their tracks.
@@ -243,6 +244,7 @@ impl GlobalRouter {
         // the nets crossing overflowed edges with history cost in place.
         let mut queue: Vec<NetId> = order.clone();
         for round in 0..=cfg.negotiation_rounds {
+            let _round_span = tpl_trace::span!("global.round", round = round);
             if round > 0 {
                 let overflowed = edges.bump_history_on_overflow(cfg.history_increment);
                 if overflowed == 0 {
@@ -279,6 +281,7 @@ impl GlobalRouter {
 
             for batch in plan_batches(&regions) {
                 let nets: Vec<NetId> = batch.iter().map(|&i| queue[i]).collect();
+                tpl_trace::value!("global.batch_size", nets.len());
                 let routed = par_map(cfg.parallelism, &nets, |&net_id| {
                     self.route_net(&grid, &edges, &net_terminals[net_id.index()])
                 })
@@ -292,6 +295,9 @@ impl GlobalRouter {
                     stats.pattern_routed += net_stats.pattern_routed;
                     stats.maze_routed += net_stats.maze_routed;
                     stats.search_nodes += net_stats.search_nodes;
+                    tpl_trace::counter!("global.pattern_routed", net_stats.pattern_routed);
+                    tpl_trace::counter!("global.maze_routed", net_stats.maze_routed);
+                    tpl_trace::counter!("global.search_nodes", net_stats.search_nodes);
                     net_paths[net_id.index()] = paths;
                 }
             }
@@ -409,6 +415,7 @@ impl GlobalRouter {
         // Otherwise run a congestion-aware maze (Dijkstra) bounded to the
         // net's window.
         net_stats.maze_routed += 1;
+        let _maze_span = tpl_trace::span!("global.maze");
         let (path, nodes) = maze_route(grid, edges, src, dst, window, cfg);
         net_stats.search_nodes += nodes;
         path.unwrap_or(best_l.0)

@@ -109,6 +109,7 @@ impl GridState {
                 released += 1;
             }
         }
+        tpl_trace::counter!("grid.ripped_vertices", released);
         released
     }
 

@@ -42,3 +42,4 @@ mod scheduler;
 pub use method::{Dac12Method, DecomposeMethod, DrCuMethod, Method, MethodRegistry, MrTplMethod};
 pub use report::{InputProvenance, RunReport};
 pub use scheduler::{run_matrix, JobOutcome, JobRecord, PreparedCase, RunOptions};
+pub use tpl_trace::TaskPhases;

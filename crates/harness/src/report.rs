@@ -140,7 +140,26 @@ impl RunReport {
     /// legitimately differs between otherwise-identical runs), so two
     /// `--deterministic` reports of the same matrix are byte-identical
     /// whatever `--jobs` was.
+    ///
+    /// Trace data is never rendered here — whether tracing was on cannot
+    /// change these bytes.  Phase aggregates surface through
+    /// [`to_json_with_phases`](RunReport::to_json_with_phases) and wall-clock
+    /// timings through [`timings_json`](RunReport::timings_json), both
+    /// written as sidecar files outside the byte-compared report.
     pub fn to_json(&self) -> String {
+        self.render_json(false)
+    }
+
+    /// Renders the report like [`to_json`](RunReport::to_json), plus a
+    /// `phases` block on every record that carries trace aggregates and a
+    /// `phase` field on failed records whose panic origin span is known.
+    /// This is the `metrics.json` exporter of `--trace`; the primary report
+    /// stays byte-identical with tracing on or off.
+    pub fn to_json_with_phases(&self) -> String {
+        self.render_json(true)
+    }
+
+    fn render_json(&self, with_phases: bool) -> String {
         let mut root = vec![
             ("schema_version".to_string(), JsonValue::UInt(1)),
             ("tool".to_string(), JsonValue::str("mrtpl-bench")),
@@ -166,7 +185,12 @@ impl RunReport {
             ),
             (
                 "records".to_string(),
-                JsonValue::Array(self.records.iter().map(record_json).collect()),
+                JsonValue::Array(
+                    self.records
+                        .iter()
+                        .map(|r| record_json(r, with_phases))
+                        .collect(),
+                ),
             ),
             (
                 "totals".to_string(),
@@ -197,9 +221,47 @@ impl RunReport {
         }
         JsonValue::Object(root).render()
     }
+
+    /// Renders the wall-clock sidecar: real elapsed seconds of every job,
+    /// measured even in deterministic mode (where the byte-compared report
+    /// zeroes `runtime_seconds`).  Written next to a deterministic report as
+    /// `*.timings.json` and never byte-compared, so CI keeps its stable
+    /// reports without losing the actual runtimes.
+    pub fn timings_json(&self) -> String {
+        let records: Vec<JsonValue> = self
+            .records
+            .iter()
+            .map(|r| {
+                JsonValue::Object(vec![
+                    ("method".to_string(), JsonValue::str(&r.method)),
+                    ("case".to_string(), JsonValue::str(&r.case)),
+                    (
+                        "status".to_string(),
+                        JsonValue::str(if r.error().is_some() { "failed" } else { "ok" }),
+                    ),
+                    ("wall_seconds".to_string(), JsonValue::Float(r.wall_seconds)),
+                ])
+            })
+            .collect();
+        let total: f64 = self.records.iter().map(|r| r.wall_seconds).sum();
+        JsonValue::Object(vec![
+            ("schema_version".to_string(), JsonValue::UInt(1)),
+            ("tool".to_string(), JsonValue::str("mrtpl-bench")),
+            ("kind".to_string(), JsonValue::str("timings")),
+            ("suite".to_string(), JsonValue::str(&self.suite)),
+            ("jobs".to_string(), JsonValue::UInt(self.jobs as u64)),
+            (
+                "net_jobs".to_string(),
+                JsonValue::UInt(self.net_jobs as u64),
+            ),
+            ("records".to_string(), JsonValue::Array(records)),
+            ("total_wall_seconds".to_string(), JsonValue::Float(total)),
+        ])
+        .render()
+    }
 }
 
-fn record_json(record: &JobRecord) -> JsonValue {
+fn record_json(record: &JobRecord, with_phases: bool) -> JsonValue {
     let mut entries = vec![
         ("method".to_string(), JsonValue::str(&record.method)),
         ("case".to_string(), JsonValue::str(&record.case)),
@@ -228,9 +290,21 @@ fn record_json(record: &JobRecord) -> JsonValue {
                 JsonValue::UInt(r.rrr_iterations as u64),
             ));
         }
-        JobOutcome::Failed { error } => {
+        JobOutcome::Failed { error, phase } => {
             entries.push(("status".to_string(), JsonValue::str("failed")));
             entries.push(("error".to_string(), JsonValue::str(error)));
+            if with_phases {
+                if let Some(phase) = phase {
+                    entries.push(("phase".to_string(), JsonValue::str(phase)));
+                }
+            }
+        }
+    }
+    if with_phases {
+        if let Some(phases) = record.phases.as_ref().filter(|p| !p.is_empty()) {
+            let parsed =
+                JsonValue::parse(&phases.to_json()).expect("TaskPhases::to_json emits valid JSON");
+            entries.push(("phases".to_string(), parsed));
         }
     }
     JsonValue::Object(entries)
@@ -289,6 +363,8 @@ mod tests {
                 runtime_seconds: rt,
                 ..CaseRecord::default()
             }),
+            wall_seconds: rt,
+            phases: None,
         }
     }
 
@@ -298,7 +374,10 @@ mod tests {
             case: case.to_string(),
             outcome: JobOutcome::Failed {
                 error: "boom \"quoted\"".to_string(),
+                phase: None,
             },
+            wall_seconds: 0.5,
+            phases: None,
         }
     }
 
@@ -405,6 +484,59 @@ mod tests {
         report.jobs = 8;
         // Same matrix, different worker count: byte-identical.
         assert_eq!(a, report.to_json());
+    }
+
+    #[test]
+    fn with_phases_renders_phase_blocks_and_failure_phase() {
+        use tpl_trace::{PhaseStat, TaskPhases};
+        let mut report = sample();
+        report.records[0].phases = Some(TaskPhases {
+            spans: vec![(
+                "core.route".to_string(),
+                PhaseStat {
+                    count: 1,
+                    nanos: 2_000_000_000,
+                },
+            )],
+            counters: vec![("core.search_nodes".to_string(), 42)],
+            values: Vec::new(),
+        });
+        if let JobOutcome::Failed { phase, .. } = &mut report.records[3].outcome {
+            *phase = Some("core.color_search".to_string());
+        }
+        // The primary report never shows trace data: bytes are independent
+        // of whether tracing ran.
+        let plain = report.to_json();
+        assert!(!plain.contains("phases"));
+        assert!(!plain.contains("core.color_search"));
+        // The metrics exporter shows both.
+        let rich = report.to_json_with_phases();
+        assert!(rich.contains("\"phases\""));
+        assert!(rich.contains("\"core.search_nodes\": 42"));
+        assert!(rich.contains("\"seconds\": 2"));
+        assert!(rich.contains("\"phase\": \"core.color_search\""));
+        assert!(JsonValue::parse(&rich).is_ok());
+    }
+
+    #[test]
+    fn with_phases_matches_plain_json_when_no_trace_data() {
+        let report = sample();
+        assert_eq!(report.to_json(), report.to_json_with_phases());
+    }
+
+    #[test]
+    fn timings_sidecar_reports_wall_seconds() {
+        let json = sample().timings_json();
+        for needle in [
+            "\"kind\": \"timings\"",
+            "\"jobs\": 4",
+            "\"wall_seconds\": 4",
+            "\"status\": \"failed\"",
+            "\"total_wall_seconds\": 7.5",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+        assert!(JsonValue::parse(&json).is_ok());
     }
 
     #[test]

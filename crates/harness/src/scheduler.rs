@@ -15,9 +15,11 @@ use crate::Method;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
 use tpl_design::{Design, RouteGuides};
 use tpl_ispd::Case;
 use tpl_metrics::CaseRecord;
+use tpl_trace::TaskPhases;
 
 /// The lazily-shared preparation of one case, dropped after its last method.
 struct CaseSlot {
@@ -68,6 +70,11 @@ impl PreparedCase<'_> {
         if let Some(prepared) = guard.as_ref() {
             return prepared.clone();
         }
+        // Preparation is shared across methods, and *which* job pays for it
+        // depends on scheduling — suspend task attribution so per-task phase
+        // aggregates stay independent of the worker count.
+        let _untasked = tpl_trace::untasked();
+        let _prepare_span = tpl_trace::span!("harness.prepare");
         let prepared = Arc::new(flows::prepare(self.case, self.net_jobs));
         *guard = Some(prepared.clone());
         prepared
@@ -90,6 +97,13 @@ pub struct RunOptions {
     /// each routing its nets on `net_jobs` workers.  Never changes any
     /// record — the routers are worker-count-invariant by construction.
     pub net_jobs: usize,
+    /// Collect per-job `tpl-trace` phase aggregates: each job runs under its
+    /// own trace task and its [`TaskPhases`] are attached to the
+    /// [`JobRecord`].  Requires tracing to be enabled globally
+    /// ([`tpl_trace::enable`]); a no-op otherwise.  Never changes the
+    /// primary report ([`RunReport::to_json`](crate::RunReport::to_json)
+    /// ignores phases) — they surface only in trace exports.
+    pub trace: bool,
 }
 
 impl Default for RunOptions {
@@ -98,6 +112,7 @@ impl Default for RunOptions {
             jobs: 1,
             deterministic: false,
             net_jobs: 1,
+            trace: false,
         }
     }
 }
@@ -111,11 +126,15 @@ pub enum JobOutcome {
     Failed {
         /// The panic message (or a placeholder for non-string payloads).
         error: String,
+        /// The innermost `tpl-trace` span open where the panic originated —
+        /// the phase the crash should be attributed to.  `None` with tracing
+        /// disabled, so untraced reports carry no extra field.
+        phase: Option<String>,
     },
 }
 
 /// The scheduler's result for one (method, case) job.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct JobRecord {
     /// Name of the method that ran.
     pub method: String,
@@ -123,6 +142,28 @@ pub struct JobRecord {
     pub case: String,
     /// Whether it produced a record or crashed.
     pub outcome: JobOutcome,
+    /// Real elapsed time of the job, measured even in deterministic mode
+    /// (where `CaseRecord::runtime_seconds` is zeroed for byte-stable
+    /// reports).  Surfaces through the `timings.json` sidecar, never through
+    /// the byte-compared report.
+    pub wall_seconds: f64,
+    /// Per-job trace phase aggregates (only with [`RunOptions::trace`] and
+    /// tracing enabled).  Deterministic runs zero the wall-clock components,
+    /// leaving counts and sums that are worker-count-invariant.
+    pub phases: Option<TaskPhases>,
+}
+
+/// Equality compares the deterministic content of a job — method, case,
+/// outcome and phase aggregates — and ignores `wall_seconds`, which is
+/// measurement metadata that legitimately differs between otherwise
+/// identical runs.  The determinism tests rely on exactly this contract.
+impl PartialEq for JobRecord {
+    fn eq(&self, other: &Self) -> bool {
+        self.method == other.method
+            && self.case == other.case
+            && self.outcome == other.outcome
+            && self.phases == other.phases
+    }
 }
 
 impl JobRecord {
@@ -138,7 +179,15 @@ impl JobRecord {
     pub fn error(&self) -> Option<&str> {
         match &self.outcome {
             JobOutcome::Ok(_) => None,
-            JobOutcome::Failed { error } => Some(error),
+            JobOutcome::Failed { error, .. } => Some(error),
+        }
+    }
+
+    /// The trace phase a failed job's panic originated in, if known.
+    pub fn failure_phase(&self) -> Option<&str> {
+        match &self.outcome {
+            JobOutcome::Ok(_) => None,
+            JobOutcome::Failed { phase, .. } => phase.as_deref(),
         }
     }
 }
@@ -169,25 +218,43 @@ pub fn run_matrix(methods: &[&dyn Method], cases: &[Case], options: &RunOptions)
             data: Mutex::new(None),
         })
         .collect();
+    // One contiguous block of trace task ids, `base + job index` each, so
+    // per-job phase aggregates never collide across concurrent runs.
+    let tracing = options.trace && tpl_trace::enabled();
+    let task_base = if tracing {
+        Some(tpl_trace::alloc_tasks(jobs.len() as u64))
+    } else {
+        None
+    };
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let index = cursor.fetch_add(1, Ordering::Relaxed);
-                if index >= jobs.len() {
-                    break;
+            scope.spawn(|| {
+                {
+                    let _worker_span = tpl_trace::span!("harness.worker");
+                    loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        if index >= jobs.len() {
+                            break;
+                        }
+                        tpl_trace::value!("harness.queue_depth", jobs.len() - index);
+                        let (m, c) = jobs[index];
+                        let case = PreparedCase {
+                            case: &cases[c],
+                            slot: &prepared[c],
+                            net_jobs: options.net_jobs.max(1),
+                        };
+                        let task = task_base.map(|base| base + index as u64);
+                        let record = run_job(methods[m], &case, options, task);
+                        if prepared[c].remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                            lock_ignoring_poison(&prepared[c].data).take();
+                        }
+                        *slots[index].lock().unwrap() = Some(record);
+                    }
                 }
-                let (m, c) = jobs[index];
-                let case = PreparedCase {
-                    case: &cases[c],
-                    slot: &prepared[c],
-                    net_jobs: options.net_jobs.max(1),
-                };
-                let record = run_job(methods[m], &case, options);
-                if prepared[c].remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-                    lock_ignoring_poison(&prepared[c].data).take();
-                }
-                *slots[index].lock().unwrap() = Some(record);
+                // Scope joins do not wait for TLS destructors; flush here so
+                // every event is visible once run_matrix returns.
+                tpl_trace::flush();
             });
         }
     });
@@ -205,8 +272,28 @@ pub fn run_matrix(methods: &[&dyn Method], cases: &[Case], options: &RunOptions)
 /// Runs one (method, case) job with panic isolation.  Case preparation runs
 /// inside the same isolation, so a crash while generating a case also
 /// becomes a failed record.
-fn run_job(method: &dyn Method, case: &PreparedCase, options: &RunOptions) -> JobRecord {
-    let outcome = match catch_unwind(AssertUnwindSafe(|| method.run(case))) {
+///
+/// With `task` set the whole job runs under that trace task id and its
+/// aggregated [`TaskPhases`] are collected into the record; wall-clock time
+/// is measured regardless (even in deterministic mode, where only the
+/// byte-compared `CaseRecord::runtime_seconds` is zeroed).
+fn run_job(
+    method: &dyn Method,
+    case: &PreparedCase,
+    options: &RunOptions,
+    task: Option<u64>,
+) -> JobRecord {
+    // Any panic span left behind by earlier work on this thread is stale.
+    let _ = tpl_trace::take_panic_span();
+    let task_guard = task.map(tpl_trace::task);
+    let started = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let _execute_span = tpl_trace::span!("harness.execute");
+        method.run(case)
+    }));
+    let wall_seconds = started.elapsed().as_secs_f64();
+    drop(task_guard);
+    let outcome = match result {
         Ok(mut record) => {
             if options.deterministic {
                 record.runtime_seconds = 0.0;
@@ -215,12 +302,23 @@ fn run_job(method: &dyn Method, case: &PreparedCase, options: &RunOptions) -> Jo
         }
         Err(payload) => JobOutcome::Failed {
             error: panic_message(payload.as_ref()),
+            phase: tpl_trace::take_panic_span().map(str::to_string),
         },
     };
+    let phases = task.and_then(|id| {
+        let mut phases = tpl_trace::take_task_phases(id)?;
+        if options.deterministic {
+            // Counts and sums are worker-count-invariant; durations are not.
+            phases.zero_times();
+        }
+        Some(phases)
+    });
     JobRecord {
         method: method.name().to_string(),
         case: case.case().name().to_string(),
         outcome,
+        wall_seconds,
+        phases,
     }
 }
 

@@ -39,10 +39,17 @@ bench-diff — compare two mrtpl-bench JSON reports
 
 USAGE:
   bench-diff <baseline.json> <new.json> [--threshold <FRACTION>]
+             [--format <lines|table>]
 
 Fails (exit 1) when any non-wall-clock counter of any (method, case) pair
 regresses by more than the threshold (default 0.25 = 25%), or when a
 baseline record is missing or failed in the new report.
+
+When both reports carry `phases` blocks (the metrics.json export of
+`mrtpl-bench --trace`), per-phase counters are compared too; phase drift is
+reported as a warning, never a failure.  `--format table` prints an aligned
+old/new/delta table of every compared counter instead of one line per
+problem.
 ";
 
 /// One record key: the `(method, case)` pair the reports are joined on.
@@ -58,6 +65,9 @@ enum Problem {
     Regression(Key, &'static str, f64, f64),
     /// A counter went `0 -> positive`; reported, not fatal.
     FromZero(Key, &'static str, f64),
+    /// A per-phase counter drifted past the threshold; reported, not fatal
+    /// (phase aggregates are observability data, not acceptance counters).
+    PhaseDrift(Key, String, f64, f64),
     /// The baseline record is absent from the new report.
     Missing(Key),
     /// The record exists but its `status` is not `ok`.
@@ -66,7 +76,7 @@ enum Problem {
 
 impl Problem {
     fn is_fatal(&self) -> bool {
-        !matches!(self, Problem::FromZero(..))
+        !matches!(self, Problem::FromZero(..) | Problem::PhaseDrift(..))
     }
 
     fn render(&self) -> String {
@@ -78,6 +88,10 @@ impl Problem {
             Problem::FromZero((m, c), counter, new) => {
                 format!("warning {m}/{c}: {counter} 0 -> {new}")
             }
+            Problem::PhaseDrift((m, c), name, old, new) => format!(
+                "warning {m}/{c}: phase {name} {old} -> {new} ({:+.1}%)",
+                100.0 * (new - old) / old
+            ),
             Problem::Missing((m, c)) => format!("MISSING {m}/{c}: not in the new report"),
             Problem::Failed((m, c)) => format!("FAILED {m}/{c}: status is not ok"),
         }
@@ -123,8 +137,22 @@ fn counter_value(record: &JsonValue, counter: &str) -> Option<f64> {
     }
 }
 
+/// The per-phase counters of a record's `phases` block (empty when the
+/// report was produced without `--trace`).
+fn phase_counters(record: &JsonValue) -> Vec<(&str, f64)> {
+    let Some(JsonValue::Object(entries)) = record.get("phases").and_then(|p| p.get("counters"))
+    else {
+        return Vec::new();
+    };
+    entries
+        .iter()
+        .filter_map(|(name, value)| value.as_f64().map(|v| (name.as_str(), v)))
+        .collect()
+}
+
 /// Compares two parsed reports; the returned problems are in baseline record
-/// order, counters within a record in [`COUNTERS`] order.
+/// order, counters within a record in [`COUNTERS`] order, then per-phase
+/// counters in report order.
 fn diff_reports(
     baseline: &JsonValue,
     new: &JsonValue,
@@ -157,13 +185,99 @@ fn diff_reports(
                 problems.push(Problem::FromZero(key.clone(), counter, new));
             }
         }
+        // Per-phase counters (present when both reports came from a traced
+        // run): drift in either direction is worth a warning, since they are
+        // deterministic by the tracing contract.
+        let new_phases = phase_counters(new_record);
+        for (name, old) in phase_counters(old_record) {
+            let Some(&(_, new)) = new_phases.iter().find(|(n, _)| *n == name) else {
+                continue;
+            };
+            if old > 0.0 && (new - old).abs() > old * threshold {
+                problems.push(Problem::PhaseDrift(key.clone(), name.to_string(), old, new));
+            }
+        }
     }
     Ok(problems)
 }
 
-fn run(args: &[String]) -> Result<Vec<Problem>, String> {
+/// One `--format table` row: every counter (report-level and per-phase)
+/// present on both sides of a record pair, with its old/new values.
+fn comparison_rows(baseline: &JsonValue, new: &JsonValue) -> Result<Vec<[String; 5]>, String> {
+    let (old_records, _) = records_by_key(baseline)?;
+    let (new_records, _) = records_by_key(new)?;
+    let mut rows = Vec::new();
+    for (key, old_record) in &old_records {
+        let Some((_, new_record)) = new_records.iter().find(|(k, _)| k == key) else {
+            continue;
+        };
+        let mut push = |counter: &str, old: f64, new: f64| {
+            let delta = if old == 0.0 && new == 0.0 {
+                "0.0%".to_string()
+            } else if old == 0.0 {
+                "n/a".to_string()
+            } else {
+                format!("{:+.1}%", 100.0 * (new - old) / old)
+            };
+            rows.push([
+                key.0.clone(),
+                key.1.clone(),
+                counter.to_string(),
+                format!("{old} -> {new}"),
+                delta,
+            ]);
+        };
+        for counter in COUNTERS {
+            if let (Some(old), Some(new)) = (
+                counter_value(old_record, counter),
+                counter_value(new_record, counter),
+            ) {
+                push(counter, old, new);
+            }
+        }
+        let new_phases = phase_counters(new_record);
+        for (name, old) in phase_counters(old_record) {
+            if let Some(&(_, new)) = new_phases.iter().find(|(n, _)| *n == name) {
+                push(&format!("phase {name}"), old, new);
+            }
+        }
+    }
+    Ok(rows)
+}
+
+/// Renders rows as an aligned table with a header.
+fn render_table(rows: &[[String; 5]]) -> String {
+    const HEADER: [&str; 5] = ["method", "case", "counter", "old -> new", "delta"];
+    let mut widths = HEADER.map(str::len);
+    for row in rows {
+        for (width, cell) in widths.iter_mut().zip(row) {
+            *width = (*width).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let mut emit = |cells: [&str; 5]| {
+        for (i, (cell, width)) in cells.iter().zip(widths).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(cell);
+            if i + 1 < cells.len() {
+                out.push_str(&" ".repeat(width - cell.len()));
+            }
+        }
+        out.push('\n');
+    };
+    emit(HEADER);
+    for row in rows {
+        emit([&row[0], &row[1], &row[2], &row[3], &row[4]]);
+    }
+    out
+}
+
+fn run(args: &[String]) -> Result<(Vec<Problem>, Option<String>), String> {
     let mut paths = Vec::new();
     let mut threshold = 0.25f64;
+    let mut table = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -174,6 +288,14 @@ fn run(args: &[String]) -> Result<Vec<Problem>, String> {
                     .ok()
                     .filter(|t| t.is_finite() && *t >= 0.0)
                     .ok_or_else(|| format!("invalid --threshold value `{v}`"))?;
+            }
+            "--format" => {
+                let v = iter.next().ok_or("missing value after --format")?;
+                table = match v.as_str() {
+                    "table" => true,
+                    "lines" => false,
+                    _ => return Err(format!("unknown format `{v}` (lines or table)")),
+                };
             }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => paths.push(other.to_string()),
@@ -187,7 +309,13 @@ fn run(args: &[String]) -> Result<Vec<Problem>, String> {
     let baseline =
         JsonValue::parse(&read(baseline_path)?).map_err(|e| format!("{baseline_path}: {e}"))?;
     let new = JsonValue::parse(&read(new_path)?).map_err(|e| format!("{new_path}: {e}"))?;
-    diff_reports(&baseline, &new, threshold)
+    let problems = diff_reports(&baseline, &new, threshold)?;
+    let rendered_table = if table {
+        Some(render_table(&comparison_rows(&baseline, &new)?))
+    } else {
+        None
+    };
+    Ok((problems, rendered_table))
 }
 
 fn main() -> ExitCode {
@@ -197,7 +325,10 @@ fn main() -> ExitCode {
             eprintln!("{message}");
             ExitCode::from(2)
         }
-        Ok(problems) => {
+        Ok((problems, table)) => {
+            if let Some(table) = table {
+                print!("{table}");
+            }
             let fatal = problems.iter().filter(|p| p.is_fatal()).count();
             for problem in &problems {
                 println!("{}", problem.render());
@@ -331,6 +462,70 @@ mod tests {
         assert!(problems[0].render().contains("conflicts 1 -> 9"));
     }
 
+    /// A report whose single record also carries a `phases` block with the
+    /// given per-phase counters.
+    fn traced_report(counters: &[(&str, f64)], phases: &[(&str, f64)]) -> JsonValue {
+        let JsonValue::Object(mut entries) = report(&[("mrtpl", "t1", "ok", counters)]) else {
+            unreachable!("report() builds an object");
+        };
+        let JsonValue::Array(records) = &mut entries[0].1 else {
+            unreachable!("records is an array");
+        };
+        let JsonValue::Object(record) = &mut records[0] else {
+            unreachable!("record is an object");
+        };
+        record.push((
+            "phases".to_string(),
+            JsonValue::Object(vec![(
+                "counters".to_string(),
+                JsonValue::Object(
+                    phases
+                        .iter()
+                        .map(|(n, v)| (n.to_string(), JsonValue::Float(*v)))
+                        .collect(),
+                ),
+            )]),
+        ));
+        JsonValue::Object(entries)
+    }
+
+    #[test]
+    fn phase_counter_drift_warns_in_both_directions_without_failing() {
+        let old = traced_report(&[], &[("core.search_nodes", 1000.0)]);
+        for (new_value, drifts) in [(1200.0, false), (1300.0, true), (700.0, true)] {
+            let new = traced_report(&[], &[("core.search_nodes", new_value)]);
+            let problems = diff_reports(&old, &new, 0.25).unwrap();
+            assert_eq!(problems.len(), usize::from(drifts), "value {new_value}");
+            if drifts {
+                assert!(!problems[0].is_fatal());
+                assert!(problems[0].render().contains("phase core.search_nodes"));
+            }
+        }
+        // Phases on one side only: nothing to compare, nothing reported.
+        let untraced = report(&[("mrtpl", "t1", "ok", &[])]);
+        assert_eq!(diff_reports(&old, &untraced, 0.25).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn table_format_lists_report_and_phase_counters() {
+        let old = traced_report(&[("conflicts", 4.0)], &[("core.search_nodes", 100.0)]);
+        let new = traced_report(&[("conflicts", 2.0)], &[("core.search_nodes", 110.0)]);
+        let rows = comparison_rows(&old, &new).unwrap();
+        assert_eq!(rows.len(), 2);
+        let table = render_table(&rows);
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("method"));
+        assert!(lines[1].contains("conflicts"));
+        assert!(lines[1].contains("4 -> 2"));
+        assert!(lines[1].contains("-50.0%"));
+        assert!(lines[2].contains("phase core.search_nodes"));
+        assert!(lines[2].contains("+10.0%"));
+        // Columns align: every "old -> new" cell starts at the same offset.
+        let offset = lines[0].find("old -> new").unwrap();
+        assert_eq!(lines[1].find("4 -> 2"), Some(offset));
+    }
+
     #[test]
     fn run_rejects_bad_usage() {
         assert!(run(&[]).is_err());
@@ -340,6 +535,13 @@ mod tests {
             "b.json".to_string(),
             "--threshold".to_string(),
             "nope".to_string(),
+        ])
+        .is_err());
+        assert!(run(&[
+            "a.json".to_string(),
+            "b.json".to_string(),
+            "--format".to_string(),
+            "xml".to_string(),
         ])
         .is_err());
     }

@@ -26,6 +26,14 @@
 //! [`plan_batches`] is the companion scheduler: it partitions spatially
 //! tagged work items (net bounding regions) into conflict-free batches whose
 //! members can safely run under [`par_map`] against frozen shared state.
+//!
+//! The pool is instrumented with `tpl-trace`: each batch runs under a
+//! `par.batch` span on the caller, each worker thread under a `par.worker`
+//! span, chunk claims are sampled as the `par.chunk_items` distribution, and
+//! the caller's task attribution propagates onto the workers so per-task
+//! phase aggregates stay independent of the `jobs` setting.  All of it is
+//! behind `tpl_trace::enabled()` — with tracing off the pool's hot path pays
+//! one relaxed atomic load per batch.
 
 #![warn(missing_docs)]
 
@@ -74,11 +82,21 @@ pub struct TaskPanic {
     pub index: usize,
     /// The panic message (or a placeholder for non-string payloads).
     pub message: String,
+    /// Innermost `tpl-trace` span open where the panic originated (`None`
+    /// with tracing disabled) — the phase a crash should be attributed to.
+    pub span: Option<&'static str>,
 }
 
 impl std::fmt::Display for TaskPanic {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "task {} panicked: {}", self.index, self.message)
+        match self.span {
+            Some(span) => write!(
+                f,
+                "task {} panicked in {}: {}",
+                self.index, span, self.message
+            ),
+            None => write!(f, "task {} panicked: {}", self.index, self.message),
+        }
     }
 }
 
@@ -173,6 +191,7 @@ where
     if items.is_empty() {
         return Ok(Vec::new());
     }
+    let _batch_span = tpl_trace::span!("par.batch", items = items.len());
 
     let workers = par.jobs.min(items.len());
     if workers <= 1 {
@@ -189,6 +208,7 @@ where
                     first_panic.get_or_insert(TaskPanic {
                         index,
                         message: panic_message(payload.as_ref()),
+                        span: tpl_trace::take_panic_span(),
                     });
                     break;
                 }
@@ -204,6 +224,9 @@ where
     let chunk = chunk_size(items.len(), workers);
     let results: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
     let panics: Mutex<Vec<TaskPanic>> = Mutex::new(Vec::new());
+    // Task attribution of the submitting thread, re-established on every
+    // worker so per-task phase aggregates are independent of `jobs`.
+    let submitted = tpl_trace::current_task();
 
     std::thread::scope(|scope| {
         let cursor = &cursor;
@@ -213,24 +236,41 @@ where
         let f = &f;
         for slot in pool.slots.iter().take(workers) {
             scope.spawn(move || {
-                let mut guard = lock_ignoring_poison(slot);
-                let scratch = guard.get_or_insert_with(&init);
-                loop {
-                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                    if start >= items.len() {
-                        break;
-                    }
-                    let end = (start + chunk).min(items.len());
-                    for index in start..end {
-                        match catch_unwind(AssertUnwindSafe(|| f(scratch, &items[index]))) {
-                            Ok(r) => *lock_ignoring_poison(&results[index]) = Some(r),
-                            Err(payload) => lock_ignoring_poison(panics).push(TaskPanic {
-                                index,
-                                message: panic_message(payload.as_ref()),
-                            }),
+                {
+                    // Worker span stays task-free: worker lifetime depends on
+                    // scheduling, not on any task's own work.
+                    let _worker_span = tpl_trace::span!("par.worker");
+                    let mut guard = lock_ignoring_poison(slot);
+                    let scratch = guard.get_or_insert_with(&init);
+                    let _task = tpl_trace::propagate_task(submitted);
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= items.len() {
+                            break;
+                        }
+                        let end = (start + chunk).min(items.len());
+                        if tpl_trace::enabled() {
+                            // Chunk geometry varies with `jobs`; keep it out
+                            // of the per-task aggregates.
+                            let _untasked = tpl_trace::untasked();
+                            tpl_trace::value!("par.chunk_items", end - start);
+                        }
+                        for index in start..end {
+                            match catch_unwind(AssertUnwindSafe(|| f(scratch, &items[index]))) {
+                                Ok(r) => *lock_ignoring_poison(&results[index]) = Some(r),
+                                Err(payload) => lock_ignoring_poison(panics).push(TaskPanic {
+                                    index,
+                                    message: panic_message(payload.as_ref()),
+                                    span: tpl_trace::take_panic_span(),
+                                }),
+                            }
                         }
                     }
                 }
+                // The scope join does not wait for TLS destructors; flush
+                // after the worker span closes so every event this worker
+                // recorded is visible once the batch returns.
+                tpl_trace::flush();
             });
         }
     });
@@ -433,6 +473,64 @@ mod tests {
             .expect_err("several tasks panic");
             assert_eq!(err.index, 7);
         }
+    }
+
+    /// Tracing state is process-global; tracing tests serialise on this.
+    fn trace_serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn panics_carry_their_origin_span_when_tracing() {
+        let _serial = trace_serial();
+        tpl_trace::enable();
+        let items: Vec<u32> = (0..8).collect();
+        for jobs in [1, 4] {
+            let err = par_map(Parallelism::new(jobs), &items, |x| {
+                let _s = tpl_trace::span!("par.test_phase");
+                assert!(*x != 3, "boom");
+                *x
+            })
+            .expect_err("task 3 panics");
+            assert_eq!(err.span, Some("par.test_phase"), "jobs = {jobs}");
+            assert!(err.to_string().contains("panicked in par.test_phase"));
+        }
+        tpl_trace::disable();
+        // Without tracing no span is attached and the message is unchanged.
+        let err = par_map(Parallelism::new(4), &items, |x| {
+            assert!(*x != 3, "boom");
+            *x
+        })
+        .expect_err("task 3 panics");
+        assert_eq!(err.span, None);
+        assert!(err.to_string().starts_with("task 3 panicked: "));
+    }
+
+    #[test]
+    fn caller_task_attribution_propagates_for_every_job_count() {
+        let _serial = trace_serial();
+        tpl_trace::enable();
+        let items: Vec<u64> = (0..100).collect();
+        let phases_for = |jobs: usize| {
+            let id = tpl_trace::alloc_tasks(1);
+            let _t = tpl_trace::task(id);
+            par_map(Parallelism::new(jobs), &items, |x| {
+                tpl_trace::counter!("par.test_total", *x);
+                *x
+            })
+            .unwrap();
+            drop(_t);
+            let mut phases = tpl_trace::take_task_phases(id).expect("task recorded");
+            phases.zero_times();
+            phases
+        };
+        let sequential = phases_for(1);
+        assert_eq!(sequential.counter("par.test_total"), Some(4950));
+        for jobs in [2, 8] {
+            assert_eq!(phases_for(jobs), sequential, "jobs = {jobs}");
+        }
+        tpl_trace::disable();
     }
 
     #[test]

@@ -1,0 +1,319 @@
+//! Chrome `trace_event` exporter.
+//!
+//! Produces the JSON object format understood by `chrome://tracing` and
+//! [Perfetto](https://ui.perfetto.dev): a `traceEvents` array of complete
+//! ("X") span events with microsecond timestamps, counter ("C") events as
+//! per-thread running totals, and thread-name metadata ("M") events.
+
+use std::fmt::Write as _;
+
+use crate::{Event, NO_TASK};
+
+/// Raw events taken from the registry by [`crate::drain`], ready for export.
+pub struct TraceDump {
+    /// `(thread id, events)` chunks in flush order; one thread's chunks
+    /// concatenate to its chronological event stream.
+    chunks: Vec<(u32, Vec<Event>)>,
+}
+
+impl TraceDump {
+    pub(crate) fn from_chunks(chunks: Vec<(u32, Vec<Event>)>) -> Self {
+        TraceDump { chunks }
+    }
+
+    /// `true` when no events were collected.
+    pub fn is_empty(&self) -> bool {
+        self.chunks.iter().all(|(_, events)| events.is_empty())
+    }
+
+    /// Number of raw events in the dump.
+    pub fn event_count(&self) -> usize {
+        self.chunks.iter().map(|(_, events)| events.len()).sum()
+    }
+
+    /// Renders the dump as Chrome `trace_event` JSON:
+    ///
+    /// ```json
+    /// {"displayTimeUnit": "ms", "traceEvents": [
+    ///   {"ph": "M", "name": "thread_name", "pid": 1, "tid": 3, "args": {"name": "worker-3"}},
+    ///   {"ph": "X", "name": "core.route_net", "pid": 1, "tid": 3, "ts": 12.5, "dur": 830.2, "args": {"net": 7}},
+    ///   {"ph": "C", "name": "core.search_nodes", "pid": 1, "tid": 3, "ts": 842.7, "args": {"value": 4821}}
+    /// ]}
+    /// ```
+    ///
+    /// Span events become "X" complete events with `ts`/`dur` in
+    /// microseconds; counters become "C" events carrying the per-thread
+    /// running total; value samples are folded into the aggregate exporters
+    /// and skipped here.  Load the file directly in `chrome://tracing` or
+    /// drag it into Perfetto.
+    pub fn to_chrome_json(&self) -> String {
+        let mut threads: Vec<(u32, Vec<&Event>)> = Vec::new();
+        for (tid, events) in &self.chunks {
+            match threads.iter_mut().find(|(t, _)| t == tid) {
+                Some((_, stream)) => stream.extend(events.iter()),
+                None => threads.push((*tid, events.iter().collect())),
+            }
+        }
+        threads.sort_by_key(|(tid, _)| *tid);
+
+        let mut out = String::from("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [");
+        let mut first = true;
+        for (tid, stream) in &threads {
+            emit_event(&mut out, &mut first, |out| {
+                let _ = write!(
+                    out,
+                    "{{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 1, \"tid\": {tid}, \
+                     \"args\": {{\"name\": \"trace-thread-{tid}\"}}}}"
+                );
+            });
+            // Open-span stack: (name, begin ns, task, args).
+            let mut stack: Vec<(&'static str, u64, u64, crate::SpanArgs)> = Vec::new();
+            let mut totals: Vec<(&'static str, u64)> = Vec::new();
+            for event in stream {
+                match **event {
+                    Event::Begin {
+                        name,
+                        t,
+                        task,
+                        args,
+                    } => stack.push((name, t, task, args)),
+                    Event::End { t } => {
+                        if let Some((name, t0, task, args)) = stack.pop() {
+                            emit_event(&mut out, &mut first, |out| {
+                                emit_complete(out, *tid, name, t0, t, task, &args);
+                            });
+                        }
+                    }
+                    Event::Count {
+                        name,
+                        delta,
+                        task: _,
+                    } => {
+                        let total = match totals.iter_mut().find(|(n, _)| *n == name) {
+                            Some((_, total)) => {
+                                *total += delta;
+                                *total
+                            }
+                            None => {
+                                totals.push((name, delta));
+                                delta
+                            }
+                        };
+                        // Counters are timestamp-free in the buffer; pin the
+                        // sample to the innermost open span's begin time, or
+                        // 0 at top level.
+                        let ts = stack.last().map(|(_, t0, _, _)| *t0).unwrap_or(0);
+                        emit_event(&mut out, &mut first, |out| {
+                            let _ = write!(
+                                out,
+                                "{{\"ph\": \"C\", \"name\": {}, \"pid\": 1, \"tid\": {}, \
+                                 \"ts\": {}, \"args\": {{\"value\": {}}}}}",
+                                json_string(name),
+                                tid,
+                                format_us(ts),
+                                total
+                            );
+                        });
+                    }
+                    Event::Value { .. } => {}
+                }
+            }
+            // Spans still open at the end of the stream (flushed mid-flight)
+            // are emitted with zero duration so they stay visible.
+            for (name, t0, task, args) in stack.into_iter().rev() {
+                emit_event(&mut out, &mut first, |out| {
+                    emit_complete(&mut *out, *tid, name, t0, t0, task, &args);
+                });
+            }
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+fn emit_event(out: &mut String, first: &mut bool, body: impl FnOnce(&mut String)) {
+    if !*first {
+        out.push_str(", ");
+    }
+    *first = false;
+    body(out);
+}
+
+fn emit_complete(
+    out: &mut String,
+    tid: u32,
+    name: &str,
+    t0: u64,
+    t1: u64,
+    task: u64,
+    args: &crate::SpanArgs,
+) {
+    let _ = write!(
+        out,
+        "{{\"ph\": \"X\", \"name\": {}, \"pid\": 1, \"tid\": {}, \"ts\": {}, \"dur\": {}",
+        json_string(name),
+        tid,
+        format_us(t0),
+        format_us(t1.saturating_sub(t0))
+    );
+    let mut wrote_args = false;
+    for (key, value) in args.iter().flatten() {
+        if !wrote_args {
+            out.push_str(", \"args\": {");
+            wrote_args = true;
+        } else {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{}: {}", json_string(key), value);
+    }
+    if task != NO_TASK {
+        if !wrote_args {
+            out.push_str(", \"args\": {");
+            wrote_args = true;
+        } else {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"task\": {task}");
+    }
+    if wrote_args {
+        out.push('}');
+    }
+    out.push('}');
+}
+
+/// Nanoseconds rendered as microseconds with three decimals (Chrome traces
+/// use microsecond `ts`/`dur`).
+fn format_us(nanos: u64) -> String {
+    let us = nanos / 1_000;
+    let frac = nanos % 1_000;
+    if frac == 0 {
+        format!("{us}.0")
+    } else {
+        let mut frac_str = format!("{frac:03}");
+        while frac_str.len() > 1 && frac_str.ends_with('0') {
+            frac_str.pop();
+        }
+        format!("{us}.{frac_str}")
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_dump() -> TraceDump {
+        TraceDump::from_chunks(vec![
+            (
+                0,
+                vec![
+                    Event::Begin {
+                        name: "outer",
+                        t: 1_000,
+                        task: 4,
+                        args: [Some(("net", 7)), None],
+                    },
+                    Event::Count {
+                        name: "nodes",
+                        delta: 3,
+                        task: 4,
+                    },
+                    Event::Count {
+                        name: "nodes",
+                        delta: 2,
+                        task: 4,
+                    },
+                    Event::End { t: 5_000 },
+                ],
+            ),
+            (
+                1,
+                vec![
+                    Event::Begin {
+                        name: "open",
+                        t: 2_000,
+                        task: NO_TASK,
+                        args: [None, None],
+                    },
+                    Event::Value {
+                        name: "dist",
+                        value: 9,
+                        task: NO_TASK,
+                    },
+                ],
+            ),
+        ])
+    }
+
+    #[test]
+    fn chrome_json_has_expected_events() {
+        let json = sample_dump().to_chrome_json();
+        assert!(json.starts_with("{\"displayTimeUnit\": \"ms\", \"traceEvents\": ["));
+        assert!(json.ends_with("]}\n"));
+        // Complete event with args and task attribution.
+        assert!(json.contains(
+            "{\"ph\": \"X\", \"name\": \"outer\", \"pid\": 1, \"tid\": 0, \
+             \"ts\": 1.0, \"dur\": 4.0, \"args\": {\"net\": 7, \"task\": 4}}"
+        ));
+        // Counter running totals: 3 then 5.
+        assert!(json.contains("\"args\": {\"value\": 3}"));
+        assert!(json.contains("\"args\": {\"value\": 5}"));
+        // Open span flushed mid-flight keeps zero duration, no args block.
+        assert!(json.contains(
+            "{\"ph\": \"X\", \"name\": \"open\", \"pid\": 1, \"tid\": 1, \
+             \"ts\": 2.0, \"dur\": 0.0}"
+        ));
+        // Value samples are not exported to Chrome.
+        assert!(!json.contains("dist"));
+        // Thread metadata for both threads.
+        assert!(json.contains("\"trace-thread-0\""));
+        assert!(json.contains("\"trace-thread-1\""));
+    }
+
+    #[test]
+    fn empty_dump_renders_empty_event_array() {
+        let dump = TraceDump::from_chunks(Vec::new());
+        assert!(dump.is_empty());
+        assert_eq!(dump.event_count(), 0);
+        assert_eq!(
+            dump.to_chrome_json(),
+            "{\"displayTimeUnit\": \"ms\", \"traceEvents\": []}\n"
+        );
+    }
+
+    #[test]
+    fn microsecond_formatting() {
+        assert_eq!(format_us(0), "0.0");
+        assert_eq!(format_us(1_000), "1.0");
+        assert_eq!(format_us(1_500), "1.5");
+        assert_eq!(format_us(1_234), "1.234");
+        assert_eq!(format_us(999), "0.999");
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+}

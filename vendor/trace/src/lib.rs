@@ -1,0 +1,738 @@
+//! Vendored zero-dependency structured tracing for the routing stack.
+//!
+//! The build environment has no crates.io access, so this crate stands in for
+//! the slice of `tracing` + `tracing-chrome` the workspace needs: lightweight
+//! structured spans with monotonic-clock timing, typed counters and value
+//! histograms, a registry that merges per-thread buffers into deterministic
+//! per-task aggregates, and two exporters — a hand-rolled JSON metrics dump
+//! ([`TaskPhases::to_json`]) and a Chrome `trace_event` writer
+//! ([`TraceDump::to_chrome_json`]) loadable in `chrome://tracing` / Perfetto.
+//!
+//! # Model
+//!
+//! * **Mode.** Tracing is globally off by default.  Every instrumentation
+//!   point first checks one relaxed atomic load ([`enabled`]); in the
+//!   disabled mode no buffer is touched, no clock is read and no allocation
+//!   happens, so instrumented hot paths cost a branch.  [`enable`] starts a
+//!   new session (stale events from a previous session are discarded).
+//! * **Spans.** [`span!`] records a begin/end event pair on the current
+//!   thread's buffer and returns a guard; spans nest, and durations are
+//!   inclusive.  Up to two static `key = integer` args ride along into the
+//!   Chrome export.
+//! * **Counters and values.** [`counter!`] accumulates a named `u64` sum;
+//!   [`value!`] records one sample of a named distribution (count, sum, min,
+//!   max) — batch sizes, queue depths.
+//! * **Tasks.** A [`task`] guard tags every event the thread records with a
+//!   task id, and [`propagate_task`]/[`TaskGuard`] carry that id onto pool
+//!   worker threads; [`take_task_phases`] then returns one task's aggregate.
+//!   Aggregation is *deterministic*: whatever the thread count or
+//!   interleaving, a task's span counts, counter sums and value stats depend
+//!   only on the events its work recorded (durations, of course, remain wall
+//!   clock).  Task ids come from [`alloc_tasks`] so concurrent sessions in
+//!   one process never collide.
+//! * **Panic origin.** A span guard dropped during unwinding records its
+//!   name; [`take_panic_span`] hands the innermost such span to whoever
+//!   catches the panic, which is how harness failure records learn the phase
+//!   a crash originated in.
+//!
+//! Thread buffers flush into the global registry when a thread exits, when a
+//! task's phases are collected, and on [`drain`]; flushing aggregates the
+//! chunk into per-task phase stats and keeps the raw events for the Chrome
+//! export.
+
+#![warn(missing_docs)]
+
+mod chrome;
+mod phases;
+
+pub use chrome::TraceDump;
+pub use phases::{PhaseStat, TaskPhases, ValueStat};
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// Sentinel task id meaning "not attributed to any task".
+pub(crate) const NO_TASK: u64 = u64::MAX;
+
+/// Inline argument slots of a span (static key, integer value).
+pub type SpanArgs = [Option<(&'static str, i64)>; 2];
+
+/// One raw event on a thread buffer.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Event {
+    /// A span opened: name, timestamp, owning task, inline args.
+    Begin {
+        /// Span name (a static label from the span taxonomy).
+        name: &'static str,
+        /// Nanoseconds since the process trace epoch.
+        t: u64,
+        /// Owning task id (`NO_TASK` when unattributed).
+        task: u64,
+        /// Inline `key = value` args.
+        args: SpanArgs,
+    },
+    /// The innermost open span closed at `t`.
+    End {
+        /// Nanoseconds since the process trace epoch.
+        t: u64,
+    },
+    /// A named counter increased by `delta`.
+    Count {
+        /// Counter name.
+        name: &'static str,
+        /// Amount added.
+        delta: u64,
+        /// Owning task id.
+        task: u64,
+    },
+    /// One sample of a named value distribution.
+    Value {
+        /// Distribution name.
+        name: &'static str,
+        /// The sample.
+        value: i64,
+        /// Owning task id.
+        task: u64,
+    },
+}
+
+/// Deterministic per-task aggregation, keyed by static names.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct TaskAgg {
+    spans: BTreeMap<&'static str, PhaseStat>,
+    counters: BTreeMap<&'static str, u64>,
+    values: BTreeMap<&'static str, ValueStat>,
+}
+
+impl TaskAgg {
+    fn to_phases(&self) -> TaskPhases {
+        TaskPhases {
+            spans: self
+                .spans
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            values: self
+                .values
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+        }
+    }
+}
+
+/// Everything the registry collects from flushed thread buffers.
+#[derive(Default)]
+struct Inner {
+    /// Raw event chunks in flush order, tagged with their thread id.  A
+    /// thread's chunks concatenate to its chronological event stream.
+    chunks: Vec<(u32, Vec<Event>)>,
+    /// Per-task aggregates, built incrementally at flush.
+    tasks: BTreeMap<u64, TaskAgg>,
+    /// Aggregate of unattributed events (scheduler idle, pool workers).
+    global: TaskAgg,
+    /// Per-thread stacks of spans still open across chunk boundaries: a
+    /// long-lived worker may flush after every job while its own outer span
+    /// is still open, and that span must pair with the End of a later chunk.
+    pending: BTreeMap<u32, Vec<(&'static str, u64, u64)>>,
+}
+
+impl Inner {
+    fn agg_mut(&mut self, task: u64) -> &mut TaskAgg {
+        if task == NO_TASK {
+            &mut self.global
+        } else {
+            self.tasks.entry(task).or_default()
+        }
+    }
+
+    /// Folds a flushed chunk into the per-task aggregates.  Span pairing
+    /// carries across chunks of the same thread via `pending`; a span still
+    /// open at collection time is simply not counted yet (it finishes in a
+    /// later chunk or never).  An End with no matching Begin is ignored.
+    fn aggregate(&mut self, thread: u32, chunk: &[Event]) {
+        let mut stack = self.pending.remove(&thread).unwrap_or_default();
+        for event in chunk {
+            match *event {
+                Event::Begin { name, t, task, .. } => stack.push((name, t, task)),
+                Event::End { t } => {
+                    if let Some((name, t0, task)) = stack.pop() {
+                        let stat = self.agg_mut(task).spans.entry(name).or_default();
+                        stat.count += 1;
+                        stat.nanos += t.saturating_sub(t0);
+                    }
+                }
+                Event::Count { name, delta, task } => {
+                    *self.agg_mut(task).counters.entry(name).or_default() += delta;
+                }
+                Event::Value { name, value, task } => {
+                    self.agg_mut(task)
+                        .values
+                        .entry(name)
+                        .or_default()
+                        .record(value);
+                }
+            }
+        }
+        if !stack.is_empty() {
+            self.pending.insert(thread, stack);
+        }
+    }
+}
+
+/// The process-wide trace registry.
+struct Registry {
+    enabled: AtomicBool,
+    /// Bumped by [`enable`]; buffers started under an older session discard
+    /// their events instead of polluting the new one.
+    session: AtomicU64,
+    next_thread: AtomicU32,
+    next_task: AtomicU64,
+    inner: Mutex<Inner>,
+}
+
+static REGISTRY: Registry = Registry {
+    enabled: AtomicBool::new(false),
+    session: AtomicU64::new(0),
+    next_thread: AtomicU32::new(0),
+    next_task: AtomicU64::new(0),
+    inner: Mutex::new(Inner {
+        chunks: Vec::new(),
+        tasks: BTreeMap::new(),
+        global: TaskAgg {
+            spans: BTreeMap::new(),
+            counters: BTreeMap::new(),
+            values: BTreeMap::new(),
+        },
+        pending: BTreeMap::new(),
+    }),
+};
+
+/// Monotonic epoch all timestamps are relative to (set on first use, never
+/// reset — session restarts keep timestamps monotonic within the process).
+fn epoch() -> &'static Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now)
+}
+
+fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+fn lock_inner() -> MutexGuard<'static, Inner> {
+    REGISTRY
+        .inner
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// `true` when tracing is on.  One relaxed atomic load: this is the only
+/// cost instrumentation points pay in the disabled mode.
+#[inline]
+pub fn enabled() -> bool {
+    REGISTRY.enabled.load(Ordering::Relaxed)
+}
+
+/// Starts a new tracing session, discarding everything a previous session
+/// collected.  Events recorded before `enable` (or under an older session)
+/// never leak into the new session's aggregates or dump.
+pub fn enable() {
+    let mut inner = lock_inner();
+    REGISTRY.session.fetch_add(1, Ordering::SeqCst);
+    inner.chunks.clear();
+    inner.tasks.clear();
+    inner.global = TaskAgg::default();
+    inner.pending.clear();
+    REGISTRY.enabled.store(true, Ordering::SeqCst);
+}
+
+/// Stops recording.  Collected data stays available to [`drain`] /
+/// [`take_task_phases`] until the next [`enable`].
+pub fn disable() {
+    REGISTRY.enabled.store(false, Ordering::SeqCst);
+}
+
+/// Reserves `n` consecutive task ids and returns the first.  Schedulers take
+/// a block per run so task ids stay unique across concurrent runs in one
+/// process while remaining deterministic (base + job index) within a run.
+pub fn alloc_tasks(n: u64) -> u64 {
+    REGISTRY.next_task.fetch_add(n.max(1), Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local state
+// ---------------------------------------------------------------------------
+
+struct LocalBuf {
+    thread: u32,
+    session: u64,
+    events: Vec<Event>,
+}
+
+impl LocalBuf {
+    fn flush(&mut self) {
+        if self.events.is_empty() {
+            return;
+        }
+        let events = std::mem::take(&mut self.events);
+        // A buffer from a dead session is silently dropped.
+        if self.session != REGISTRY.session.load(Ordering::SeqCst) {
+            return;
+        }
+        let mut inner = lock_inner();
+        let thread = self.thread;
+        inner.aggregate(thread, &events);
+        inner.chunks.push((thread, events));
+    }
+}
+
+impl Drop for LocalBuf {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<Option<LocalBuf>> = const { RefCell::new(None) };
+    static CURRENT_TASK: Cell<u64> = const { Cell::new(NO_TASK) };
+    static PANIC_SPAN: Cell<Option<&'static str>> = const { Cell::new(None) };
+}
+
+/// Appends an event to this thread's buffer, (re)registering the buffer when
+/// the session changed since the last event.
+fn record(event: Event) {
+    let session = REGISTRY.session.load(Ordering::Relaxed);
+    LOCAL.with(|local| {
+        let mut slot = local.borrow_mut();
+        let buf = slot.get_or_insert_with(|| LocalBuf {
+            thread: REGISTRY.next_thread.fetch_add(1, Ordering::Relaxed),
+            session,
+            events: Vec::new(),
+        });
+        if buf.session != session {
+            buf.events.clear();
+            buf.session = session;
+            buf.thread = REGISTRY.next_thread.fetch_add(1, Ordering::Relaxed);
+        }
+        buf.events.push(event);
+    });
+}
+
+/// Flushes the current thread's buffer into the registry.  Call at points
+/// where the thread has no open spans (job boundaries, the tail of a pool
+/// worker's closure); buffers also flush automatically when their thread
+/// exits, but that runs in the thread's TLS destructors, which
+/// `std::thread::scope` does **not** order before its join — so any thread
+/// whose events must be visible at a collection point ([`take_task_phases`],
+/// [`drain`]) has to flush explicitly before its closure returns.
+pub fn flush() {
+    LOCAL.with(|local| {
+        if let Some(buf) = local.borrow_mut().as_mut() {
+            buf.flush();
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Tasks
+// ---------------------------------------------------------------------------
+
+/// Guard restoring the previous task attribution on drop.
+#[must_use = "dropping the guard immediately ends the task scope"]
+pub struct TaskGuard {
+    prev: u64,
+}
+
+impl Drop for TaskGuard {
+    fn drop(&mut self) {
+        CURRENT_TASK.with(|t| t.set(self.prev));
+    }
+}
+
+/// Attributes events recorded by this thread to `id` until the guard drops.
+pub fn task(id: u64) -> TaskGuard {
+    TaskGuard {
+        prev: CURRENT_TASK.with(|t| t.replace(id)),
+    }
+}
+
+/// Suspends task attribution until the guard drops.  Work shared between
+/// tasks (lazily prepared case data) uses this so per-task aggregates stay
+/// independent of which task happened to pay for the shared work.
+pub fn untasked() -> TaskGuard {
+    TaskGuard {
+        prev: CURRENT_TASK.with(|t| t.replace(NO_TASK)),
+    }
+}
+
+/// Re-establishes a captured task attribution (`None` = unattributed) on
+/// this thread.  Thread pools capture [`current_task`] on the submitting
+/// thread and propagate it around each task closure on their workers.
+pub fn propagate_task(id: Option<u64>) -> TaskGuard {
+    task(id.unwrap_or(NO_TASK))
+}
+
+/// The task events of this thread are currently attributed to.
+pub fn current_task() -> Option<u64> {
+    match CURRENT_TASK.with(|t| t.get()) {
+        NO_TASK => None,
+        id => Some(id),
+    }
+}
+
+/// Removes and returns one task's aggregated phases (after flushing the
+/// current thread).  `None` when the task recorded nothing.
+pub fn take_task_phases(task: u64) -> Option<TaskPhases> {
+    flush();
+    lock_inner().tasks.remove(&task).map(|agg| agg.to_phases())
+}
+
+/// A snapshot of the aggregate of *unattributed* events (scheduler workers,
+/// pool internals) — the process-level side of the per-task phases.
+pub fn global_phases() -> TaskPhases {
+    flush();
+    lock_inner().global.to_phases()
+}
+
+// ---------------------------------------------------------------------------
+// Spans, counters, values
+// ---------------------------------------------------------------------------
+
+/// RAII span guard returned by [`span!`]; records the end event on drop.
+#[must_use = "dropping the guard immediately closes the span"]
+pub struct Span {
+    /// `Some(name)` while live; `None` in disabled mode (a no-op guard).
+    name: Option<&'static str>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(name) = self.name else {
+            return;
+        };
+        if std::thread::panicking() {
+            // Innermost guard drops first during unwinding; keep it.
+            PANIC_SPAN.with(|s| {
+                if s.get().is_none() {
+                    s.set(Some(name));
+                }
+            });
+        }
+        if enabled() {
+            record(Event::End { t: now_ns() });
+        }
+    }
+}
+
+/// Opens a span (prefer the [`span!`] macro).  No-op when disabled.
+pub fn span(name: &'static str) -> Span {
+    span_args(name, [None, None])
+}
+
+/// Opens a span with inline args (prefer the [`span!`] macro).
+pub fn span_args(name: &'static str, args: SpanArgs) -> Span {
+    if !enabled() {
+        return Span { name: None };
+    }
+    record(Event::Begin {
+        name,
+        t: now_ns(),
+        task: CURRENT_TASK.with(|t| t.get()),
+        args,
+    });
+    Span { name: Some(name) }
+}
+
+/// Adds `delta` to a named counter (prefer the [`counter!`] macro).
+pub fn counter(name: &'static str, delta: u64) {
+    if !enabled() || delta == 0 {
+        return;
+    }
+    record(Event::Count {
+        name,
+        delta,
+        task: CURRENT_TASK.with(|t| t.get()),
+    });
+}
+
+/// Records one sample of a named distribution (prefer the [`value!`] macro).
+pub fn value(name: &'static str, sample: i64) {
+    if !enabled() {
+        return;
+    }
+    record(Event::Value {
+        name,
+        value: sample,
+        task: CURRENT_TASK.with(|t| t.get()),
+    });
+}
+
+/// The innermost span name recorded during the most recent panic unwind on
+/// this thread, cleared on read.  Catchers of a panic call this to attach
+/// the origin phase to their failure report.
+pub fn take_panic_span() -> Option<&'static str> {
+    PANIC_SPAN.with(|s| s.take())
+}
+
+/// Opens a scoped span: `span!("name")` or `span!("name", net = id, k2 = v)`
+/// (up to two `key = integer` args).  Bind the result — the span closes when
+/// the guard drops.
+#[macro_export]
+macro_rules! span {
+    ($name:literal) => {
+        $crate::span($name)
+    };
+    ($name:literal, $k:ident = $v:expr) => {
+        $crate::span_args($name, [Some((stringify!($k), $v as i64)), None])
+    };
+    ($name:literal, $k1:ident = $v1:expr, $k2:ident = $v2:expr) => {
+        $crate::span_args(
+            $name,
+            [
+                Some((stringify!($k1), $v1 as i64)),
+                Some((stringify!($k2), $v2 as i64)),
+            ],
+        )
+    };
+}
+
+/// Adds to a named counter: `counter!("core.search_nodes", nodes)`.
+#[macro_export]
+macro_rules! counter {
+    ($name:literal, $delta:expr) => {
+        $crate::counter($name, $delta as u64)
+    };
+}
+
+/// Records a distribution sample: `value!("core.batch_size", batch.len())`.
+#[macro_export]
+macro_rules! value {
+    ($name:literal, $sample:expr) => {
+        $crate::value($name, $sample as i64)
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Draining
+// ---------------------------------------------------------------------------
+
+/// Flushes the current thread and takes every raw event collected so far,
+/// for the Chrome exporter.  Aggregated task phases are left in place (they
+/// are taken per task by [`take_task_phases`]).
+pub fn drain() -> TraceDump {
+    flush();
+    let chunks = std::mem::take(&mut lock_inner().chunks);
+    TraceDump::from_chunks(chunks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tracing state is process-global; tests serialise on this.
+    fn serial() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn disabled_mode_records_nothing() {
+        let _serial = serial();
+        disable();
+        {
+            let _s = span!("test.disabled", net = 7);
+            counter!("test.disabled_count", 5);
+            value!("test.disabled_value", 3);
+        }
+        enable();
+        let dump = drain();
+        assert!(dump.is_empty(), "no event may survive from disabled mode");
+        assert!(global_phases().is_empty());
+        disable();
+    }
+
+    #[test]
+    fn spans_nest_and_durations_are_inclusive() {
+        let _serial = serial();
+        enable();
+        let base = alloc_tasks(1);
+        {
+            let _t = task(base);
+            let _outer = span!("test.outer");
+            for _ in 0..3 {
+                let _inner = span!("test.inner");
+            }
+        }
+        let phases = take_task_phases(base).expect("task recorded");
+        let outer = phases.span("test.outer").expect("outer span");
+        let inner = phases.span("test.inner").expect("inner span");
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 3);
+        assert!(
+            outer.nanos >= inner.nanos,
+            "outer {} must include inner {}",
+            outer.nanos,
+            inner.nanos
+        );
+        disable();
+    }
+
+    #[test]
+    fn thread_merge_is_deterministic_whatever_the_thread_count() {
+        let _serial = serial();
+        let run = |threads: usize| {
+            enable();
+            let base = alloc_tasks(1);
+            let items: Vec<u64> = (0..64).collect();
+            std::thread::scope(|scope| {
+                let chunk = items.len().div_ceil(threads);
+                for part in items.chunks(chunk) {
+                    scope.spawn(move || {
+                        let _t = propagate_task(Some(base));
+                        for item in part {
+                            let _s = span!("test.item");
+                            counter!("test.total", *item);
+                            value!("test.sample", *item);
+                        }
+                        // Scope join does not wait for TLS destructors;
+                        // worker closures flush explicitly.
+                        flush();
+                    });
+                }
+            });
+            let mut phases = take_task_phases(base).expect("task recorded");
+            disable();
+            phases.zero_times();
+            phases
+        };
+        let one = run(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(run(threads), one, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn span_pairing_survives_mid_span_flushes() {
+        let _serial = serial();
+        enable();
+        let base = alloc_tasks(1);
+        {
+            let _t = task(base);
+            let outer = span!("test.cross_chunk");
+            // A long-lived worker flushes after every job while its own
+            // outer span is still open; the End lands in a later chunk.
+            flush();
+            {
+                let _inner = span!("test.cross_inner");
+            }
+            drop(outer);
+        }
+        let phases = take_task_phases(base).expect("recorded");
+        assert_eq!(phases.span("test.cross_chunk").map(|s| s.count), Some(1));
+        assert!(phases.span("test.cross_chunk").unwrap().nanos > 0);
+        assert_eq!(phases.span("test.cross_inner").map(|s| s.count), Some(1));
+        disable();
+    }
+
+    #[test]
+    fn task_guards_restore_and_counters_split_by_task() {
+        let _serial = serial();
+        enable();
+        let base = alloc_tasks(2);
+        assert_eq!(current_task(), None);
+        {
+            let _a = task(base);
+            assert_eq!(current_task(), Some(base));
+            counter!("test.split", 1);
+            {
+                let _b = task(base + 1);
+                counter!("test.split", 10);
+                let _u = untasked();
+                assert_eq!(current_task(), None);
+                counter!("test.split", 100);
+            }
+            assert_eq!(current_task(), Some(base));
+        }
+        assert_eq!(current_task(), None);
+        let a = take_task_phases(base).expect("task a");
+        let b = take_task_phases(base + 1).expect("task b");
+        assert_eq!(a.counter("test.split"), Some(1));
+        assert_eq!(b.counter("test.split"), Some(10));
+        assert_eq!(global_phases().counter("test.split"), Some(100));
+        disable();
+    }
+
+    #[test]
+    fn panic_span_captures_the_innermost_open_span() {
+        let _serial = serial();
+        enable();
+        let _ = take_panic_span();
+        let result = std::panic::catch_unwind(|| {
+            let _outer = span!("test.panic_outer");
+            let _inner = span!("test.panic_inner");
+            panic!("boom");
+        });
+        assert!(result.is_err());
+        assert_eq!(take_panic_span(), Some("test.panic_inner"));
+        assert_eq!(take_panic_span(), None, "cleared on read");
+        disable();
+    }
+
+    #[test]
+    fn enable_discards_earlier_sessions() {
+        let _serial = serial();
+        enable();
+        {
+            let _s = span!("test.stale");
+        }
+        // The stale event sits unflushed in this thread's buffer; a new
+        // session must not inherit it.
+        enable();
+        {
+            let _s = span!("test.fresh");
+        }
+        let dump = drain();
+        let json = dump.to_chrome_json();
+        assert!(json.contains("test.fresh"));
+        assert!(!json.contains("test.stale"));
+        disable();
+    }
+
+    #[test]
+    fn values_aggregate_count_sum_min_max() {
+        let _serial = serial();
+        enable();
+        let base = alloc_tasks(1);
+        {
+            let _t = task(base);
+            for v in [5i64, -2, 9] {
+                value!("test.dist", v);
+            }
+        }
+        let phases = take_task_phases(base).expect("recorded");
+        let dist = phases
+            .values
+            .iter()
+            .find(|(name, _)| name == "test.dist")
+            .map(|(_, v)| *v)
+            .expect("distribution present");
+        assert_eq!(
+            dist,
+            ValueStat {
+                count: 3,
+                sum: 12,
+                min: -2,
+                max: 9
+            }
+        );
+        disable();
+    }
+}

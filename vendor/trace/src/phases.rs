@@ -1,0 +1,268 @@
+//! Deterministic per-task aggregates and their hand-rolled JSON encoding.
+
+use std::fmt::Write as _;
+
+/// Aggregate of one span name within a task: how often it ran and the total
+/// inclusive wall-clock time spent inside it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Number of completed spans.
+    pub count: u64,
+    /// Total inclusive duration in nanoseconds.
+    pub nanos: u64,
+}
+
+/// Aggregate of one value distribution: sample count, sum, min and max.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ValueStat {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: i64,
+    /// Smallest sample.
+    pub min: i64,
+    /// Largest sample.
+    pub max: i64,
+}
+
+impl Default for ValueStat {
+    fn default() -> Self {
+        ValueStat {
+            count: 0,
+            sum: 0,
+            min: i64::MAX,
+            max: i64::MIN,
+        }
+    }
+}
+
+impl ValueStat {
+    /// Folds one sample into the distribution.
+    pub fn record(&mut self, sample: i64) {
+        self.count += 1;
+        self.sum += sample;
+        self.min = self.min.min(sample);
+        self.max = self.max.max(sample);
+    }
+
+    /// Mean sample value (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+}
+
+/// The deterministic phase profile of one task: span stats, counter sums and
+/// value distributions, each sorted by name.  Counts and sums depend only on
+/// the events the task's work recorded — never on thread count or
+/// interleaving; span durations are wall clock and can be stripped with
+/// [`TaskPhases::zero_times`] for byte-stable comparisons.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TaskPhases {
+    /// Per-span-name stats, sorted by name.
+    pub spans: Vec<(String, PhaseStat)>,
+    /// Per-counter sums, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Per-distribution stats, sorted by name.
+    pub values: Vec<(String, ValueStat)>,
+}
+
+impl TaskPhases {
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty() && self.counters.is_empty() && self.values.is_empty()
+    }
+
+    /// Looks up one span's stats by name.
+    pub fn span(&self, name: &str) -> Option<PhaseStat> {
+        self.spans.iter().find(|(n, _)| n == name).map(|(_, s)| *s)
+    }
+
+    /// Looks up one counter's sum by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Zeroes every wall-clock duration, leaving only the deterministic
+    /// counts and sums.  Deterministic harness reports apply this so phase
+    /// blocks stay byte-stable across machines and worker counts.
+    pub fn zero_times(&mut self) {
+        for (_, stat) in &mut self.spans {
+            stat.nanos = 0;
+        }
+    }
+
+    /// Renders the phases as a JSON object:
+    ///
+    /// ```json
+    /// {
+    ///   "spans": {"core.route_net": {"count": 12, "seconds": 0.0031}},
+    ///   "counters": {"core.search_nodes": 4821},
+    ///   "values": {"core.batch_size": {"count": 3, "sum": 12, "min": 2, "max": 6}}
+    /// }
+    /// ```
+    ///
+    /// Keys are sorted, floats are finite, and the output parses with any
+    /// JSON parser (the harness round-trips it through `tpl_harness::json`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push('{');
+        let mut first_section = true;
+        if !self.spans.is_empty() {
+            push_section(&mut out, &mut first_section, "spans");
+            let mut first = true;
+            for (name, stat) in &self.spans {
+                push_key(&mut out, &mut first, name);
+                let _ = write!(
+                    out,
+                    "{{\"count\": {}, \"seconds\": {}}}",
+                    stat.count,
+                    format_seconds(stat.nanos)
+                );
+            }
+            out.push('}');
+        }
+        if !self.counters.is_empty() {
+            push_section(&mut out, &mut first_section, "counters");
+            let mut first = true;
+            for (name, sum) in &self.counters {
+                push_key(&mut out, &mut first, name);
+                let _ = write!(out, "{sum}");
+            }
+            out.push('}');
+        }
+        if !self.values.is_empty() {
+            push_section(&mut out, &mut first_section, "values");
+            let mut first = true;
+            for (name, stat) in &self.values {
+                push_key(&mut out, &mut first, name);
+                let _ = write!(
+                    out,
+                    "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}}}",
+                    stat.count, stat.sum, stat.min, stat.max
+                );
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn push_section(out: &mut String, first: &mut bool, name: &str) {
+    if !*first {
+        out.push_str(", ");
+    }
+    *first = false;
+    let _ = write!(out, "\"{name}\": {{");
+}
+
+fn push_key(out: &mut String, first: &mut bool, name: &str) {
+    if !*first {
+        out.push_str(", ");
+    }
+    *first = false;
+    let _ = write!(out, "{}: ", crate::chrome::json_string(name));
+}
+
+/// Seconds with nanosecond precision, no scientific notation, no trailing
+/// zeros beyond what a float parser needs.
+fn format_seconds(nanos: u64) -> String {
+    if nanos == 0 {
+        return "0.0".to_string();
+    }
+    let secs = nanos / 1_000_000_000;
+    let frac = nanos % 1_000_000_000;
+    let mut frac_str = format!("{frac:09}");
+    while frac_str.len() > 1 && frac_str.ends_with('0') {
+        frac_str.pop();
+    }
+    format!("{secs}.{frac_str}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_format_round_trips_precision() {
+        assert_eq!(format_seconds(0), "0.0");
+        assert_eq!(format_seconds(1), "0.000000001");
+        assert_eq!(format_seconds(1_500_000_000), "1.5");
+        assert_eq!(format_seconds(2_000_000_000), "2.0");
+        assert_eq!(format_seconds(123_456_789), "0.123456789");
+    }
+
+    #[test]
+    fn json_has_sorted_sections_and_parses_visually() {
+        let phases = TaskPhases {
+            spans: vec![(
+                "a.span".into(),
+                PhaseStat {
+                    count: 2,
+                    nanos: 1_500_000_000,
+                },
+            )],
+            counters: vec![("b.count".into(), 7)],
+            values: vec![(
+                "c.val".into(),
+                ValueStat {
+                    count: 1,
+                    sum: 4,
+                    min: 4,
+                    max: 4,
+                },
+            )],
+        };
+        assert_eq!(
+            phases.to_json(),
+            "{\"spans\": {\"a.span\": {\"count\": 2, \"seconds\": 1.5}}, \
+             \"counters\": {\"b.count\": 7}, \
+             \"values\": {\"c.val\": {\"count\": 1, \"sum\": 4, \"min\": 4, \"max\": 4}}}"
+        );
+    }
+
+    #[test]
+    fn empty_phases_render_as_empty_object() {
+        assert_eq!(TaskPhases::default().to_json(), "{}");
+        assert!(TaskPhases::default().is_empty());
+    }
+
+    #[test]
+    fn zero_times_strips_durations_only() {
+        let mut phases = TaskPhases {
+            spans: vec![(
+                "s".into(),
+                PhaseStat {
+                    count: 3,
+                    nanos: 42,
+                },
+            )],
+            counters: vec![("c".into(), 9)],
+            values: Vec::new(),
+        };
+        phases.zero_times();
+        assert_eq!(phases.span("s"), Some(PhaseStat { count: 3, nanos: 0 }));
+        assert_eq!(phases.counter("c"), Some(9));
+    }
+
+    #[test]
+    fn value_stat_tracks_extremes_and_mean() {
+        let mut stat = ValueStat::default();
+        for v in [3, -1, 10] {
+            stat.record(v);
+        }
+        assert_eq!(stat.count, 3);
+        assert_eq!(stat.sum, 12);
+        assert_eq!(stat.min, -1);
+        assert_eq!(stat.max, 10);
+        assert_eq!(stat.mean(), Some(4.0));
+        assert_eq!(ValueStat::default().mean(), None);
+    }
+}
