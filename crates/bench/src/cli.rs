@@ -44,6 +44,10 @@ pub struct BenchArgs {
     /// Write trace exports (Chrome trace, per-phase metrics, wall-clock
     /// timings) into this directory; also turns tracing on for the run.
     pub trace: Option<String>,
+    /// Goal-directed A* in the search kernels (`--a-star on|off`).
+    pub a_star: bool,
+    /// Bucket priority queue in the search kernels (`--bucket-queue on|off`).
+    pub bucket_queue: bool,
     /// Print the method registry and exit.
     pub list_methods: bool,
     /// Print usage and exit.
@@ -65,6 +69,8 @@ impl Default for BenchArgs {
             lef: None,
             deterministic: false,
             trace: None,
+            a_star: true,
+            bucket_queue: true,
             list_methods: false,
             help: false,
         }
@@ -99,6 +105,11 @@ OPTIONS:
                             (load in chrome://tracing or Perfetto),
                             DIR/metrics.json (report + per-phase counters)
                             and DIR/timings.json; never changes the report
+  --a-star <on|off>         goal-directed A* in the search kernels (default:
+                            on); never changes guides, but may pick different
+                            equal-cost ties in the mrtpl colour search
+  --bucket-queue <on|off>   bucket priority queue in the search kernels
+                            (default: on); never changes any result
   --list-methods            print the method registry and exit
   --help                    print this help
 
@@ -122,6 +133,15 @@ pub fn parse_jobs_value(v: &str) -> Result<usize, String> {
         .ok()
         .filter(|j| *j >= 1)
         .ok_or_else(|| format!("invalid --jobs value `{v}`"))
+}
+
+/// Parses an `on|off` knob value (used by `--a-star` and `--bucket-queue`).
+pub fn parse_on_off(flag: &str, v: &str) -> Result<bool, String> {
+    match v {
+        "on" => Ok(true),
+        "off" => Ok(false),
+        _ => Err(format!("invalid {flag} value `{v}` (on or off)")),
+    }
 }
 
 /// Parses `mrtpl-bench` arguments (without the program name).
@@ -154,6 +174,10 @@ pub fn parse_bench_args(args: impl Iterator<Item = String>) -> Result<BenchArgs,
                     "json" => Format::Json,
                     _ => return Err(format!("unknown format `{v}` (text or json)")),
                 };
+            }
+            "--a-star" => parsed.a_star = parse_on_off("--a-star", &take("--a-star")?)?,
+            "--bucket-queue" => {
+                parsed.bucket_queue = parse_on_off("--bucket-queue", &take("--bucket-queue")?)?
             }
             "--def" => parsed.def = Some(take("--def")?),
             "--lef" => parsed.lef = Some(take("--lef")?),
@@ -258,6 +282,8 @@ pub fn execute(args: &BenchArgs) -> Result<RunReport, String> {
         net_jobs: args.net_jobs,
         deterministic: args.deterministic,
         trace: args.trace.is_some(),
+        a_star: args.a_star,
+        bucket_queue: args.bucket_queue,
     };
     let records = run_matrix(&methods, &cases, &options);
     Ok(RunReport {
@@ -423,6 +449,10 @@ mod tests {
             "--trace",
             "out/trace",
             "--deterministic",
+            "--a-star",
+            "off",
+            "--bucket-queue",
+            "off",
         ])
         .unwrap();
         assert_eq!(args.suite, Suite::Ispd19);
@@ -435,6 +465,21 @@ mod tests {
         assert_eq!(args.out.as_deref(), Some("report.json"));
         assert_eq!(args.trace.as_deref(), Some("out/trace"));
         assert!(args.deterministic);
+        assert!(!args.a_star);
+        assert!(!args.bucket_queue);
+    }
+
+    #[test]
+    fn search_kernel_knobs_default_on_and_parse_on_off() {
+        let args = parse(&[]).unwrap();
+        assert!(args.a_star);
+        assert!(args.bucket_queue);
+        let args = parse(&["--a-star", "off"]).unwrap();
+        assert!(!args.a_star);
+        assert!(args.bucket_queue);
+        let args = parse(&["--bucket-queue", "off", "--a-star", "on"]).unwrap();
+        assert!(args.a_star);
+        assert!(!args.bucket_queue);
     }
 
     #[test]
@@ -457,6 +502,12 @@ mod tests {
         assert!(parse(&["--jobs", "0"]).unwrap_err().contains("job"));
         assert!(parse(&["--net-jobs", "0"]).unwrap_err().contains("job"));
         assert!(parse(&["--format", "xml"]).unwrap_err().contains("format"));
+        assert!(parse(&["--a-star", "maybe"])
+            .unwrap_err()
+            .contains("a-star"));
+        assert!(parse(&["--bucket-queue", "1"])
+            .unwrap_err()
+            .contains("bucket-queue"));
         assert!(parse(&["--scale"]).unwrap_err().contains("missing value"));
         assert!(parse(&["--frobnicate"]).unwrap_err().contains("unknown"));
     }

@@ -4,7 +4,6 @@ use crate::{
     assign::assign_and_emit, backtrace, search, ColorCostCache, ColoredNet, MrTplConfig,
     MrTplStats, NetBuffers, SearchContext,
 };
-use std::collections::HashSet;
 use std::time::Instant;
 use tpl_color::{ColorMap, ColorSetArena, ColorState, ColoredLayout, Feature, Mask};
 use tpl_design::{Design, NetId, PinId, RouteGuides, RoutingSolution};
@@ -127,23 +126,31 @@ impl MrTplRouter {
                     &pool,
                     || {
                         (
-                            NetBuffers::new(grid.num_vertices()),
+                            NetBuffers::with_config(grid.num_vertices(), self.config.search),
                             ColorCostCache::new(&grid),
                         )
                     },
                     |(buffers, cache), &net_id| {
+                        // Goal direction only during negotiation: see
+                        // `NetBuffers::set_goal_directed`.
+                        buffers.set_goal_directed(self.config.search.a_star && iteration > 0);
                         let out = self.route_net(
                             design, &grid, &coverage, &gstate, buffers, cache, &map, guides, net_id,
                         );
-                        let nodes = buffers.nodes_popped();
-                        (out, nodes)
+                        let effort = (
+                            buffers.nodes_popped(),
+                            buffers.frontier_pruned(),
+                            buffers.frontier_peak(),
+                            buffers.overflow_pushes(),
+                        );
+                        (out, effort)
                     },
                 )
                 .unwrap_or_else(|p| panic!("{p}"));
 
                 // Barrier: commit occupancy, colour map and solution in net
                 // order, identically for every worker count.
-                for (net_id, ((colored, vertices, complete), nodes)) in
+                for (net_id, ((colored, vertices, complete), (nodes, pruned, peak, overflow))) in
                     nets.iter().copied().zip(routed)
                 {
                     if !complete {
@@ -151,6 +158,13 @@ impl MrTplRouter {
                     }
                     stats.search_nodes += nodes;
                     tpl_trace::counter!("core.search_nodes", nodes);
+                    // Kernel effort counters: pruned / popped quantifies how
+                    // much of the wavefront goal direction cut away, and the
+                    // frontier peak / overflow spill track bucket-queue
+                    // occupancy.
+                    tpl_trace::counter!("core.search_frontier_pruned", pruned);
+                    tpl_trace::counter!("core.bucket_overflow_pushes", overflow);
+                    tpl_trace::value!("core.frontier_peak", peak);
                     total_seg_sets += colored.seg_sets;
 
                     for &v in &vertices {
@@ -192,7 +206,9 @@ impl MrTplRouter {
             // wires the larger net id loses (deterministic).  The conflict
             // region's vertices get history cost so the reroute avoids it.
             let features = layout.features();
-            let mut victims: HashSet<NetId> = HashSet::new();
+            // Victims are collected into a Vec and sorted+deduped below:
+            // deterministic iteration order and no hashing in the RRR loop.
+            let mut victims: Vec<NetId> = Vec::new();
             for c in &conflicts {
                 let fa = &features[c.a];
                 let fb = &features[c.b];
@@ -224,19 +240,19 @@ impl MrTplRouter {
                         }
                     }
                 };
-                victims.insert(victim);
+                victims.push(victim);
                 for rect in [fa.rect, fb.rect] {
                     for v in grid.vertices_in_rect(c.layer, &rect) {
                         gstate.add_history(v, self.config.history_increment);
                     }
                 }
             }
-            let mut next: Vec<NetId> = victims.into_iter().collect();
-            next.sort_unstable_by_key(|id| id.index());
-            if next.is_empty() {
+            victims.sort_unstable_by_key(|id| id.index());
+            victims.dedup();
+            if victims.is_empty() {
                 break;
             }
-            to_route = next;
+            to_route = victims;
         }
 
         let layout = self.build_layout(design, &map);
@@ -303,12 +319,13 @@ impl MrTplRouter {
         let mut arena = ColorSetArena::new();
 
         // The routed tree: vertices plus the colour state they are re-seeded
-        // with (their segSet state once committed).
+        // with (their segSet state once committed).  Membership lives in the
+        // epoch-stamped buffers, so there is no per-net hashing.
         let mut tree: Vec<VertexId> = Vec::new();
-        let mut tree_set: HashSet<VertexId> = HashSet::new();
         let start_pin = net.pins()[0];
         for &v in coverage.vertices(start_pin) {
-            if tree_set.insert(v) {
+            if !buffers.in_tree(v) {
+                buffers.add_tree(v);
                 tree.push(v);
             }
         }
@@ -336,7 +353,8 @@ impl MrTplRouter {
                 Some((dst, pin)) => {
                     let path = backtrace(buffers, &mut arena, dst);
                     for &v in &path {
-                        if tree_set.insert(v) {
+                        if !buffers.in_tree(v) {
+                            buffers.add_tree(v);
                             tree.push(v);
                         }
                     }
@@ -345,7 +363,7 @@ impl MrTplRouter {
                     // Pins whose covered vertices were swallowed by the path
                     // are also connected.
                     unreached
-                        .retain(|p| !coverage.vertices(*p).iter().any(|v| tree_set.contains(v)));
+                        .retain(|p| !coverage.vertices(*p).iter().any(|v| buffers.in_tree(*v)));
                 }
                 None => {
                     complete = false;
@@ -448,9 +466,21 @@ mod tests {
     fn greedy_policy_produces_at_least_as_many_stitches() {
         let design = CaseParams::ispd18_like(2).scaled(0.35).generate();
         let guides = GlobalRouter::new(GlobalConfig::default()).route(&design);
-        let set_based = MrTplRouter::new(MrTplConfig::default()).route(&design, &guides);
+        // Pin goal direction off so both policies expand in plain Dijkstra
+        // order: the comparison is about the colour policy, and A*'s
+        // equal-cost tie-breaking would add noise to the stitch counts.
+        let search = tpl_grid::SearchConfig {
+            a_star: false,
+            ..tpl_grid::SearchConfig::default()
+        };
+        let set_based = MrTplRouter::new(MrTplConfig {
+            search,
+            ..MrTplConfig::default()
+        })
+        .route(&design, &guides);
         let greedy = MrTplRouter::new(MrTplConfig {
             policy: crate::SearchPolicy::GreedySingleColor,
+            search,
             ..MrTplConfig::default()
         })
         .route(&design, &guides);

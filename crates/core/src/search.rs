@@ -1,54 +1,112 @@
-//! Colour-state searching (Algorithm 2).
+//! Colour-state searching (Algorithm 2) on the epoch-stamped search kernel.
+//!
+//! The kernel combines three compounding optimisations over the original
+//! blind Dijkstra wavefront:
+//!
+//! * **Epoch-stamped buffers** — [`NetBuffers`] keeps per-vertex distance,
+//!   predecessor, colour state, queued key, target marks, verSet and tree
+//!   membership in flat arrays guarded by [`EpochStamps`], so starting a
+//!   search costs O(sources + targets) instead of O(V).  The buffers are
+//!   arena-pooled per `tpl-par` worker by the router.
+//! * **Bucket frontier** — the priority queue is a [`Frontier`]: either the
+//!   monotone bucket queue or a binary heap, with provably identical pop
+//!   order (so the `bucket_queue` knob never changes results).
+//! * **Goal-directed A\*** — an admissible, consistent Manhattan lower bound
+//!   to the nearest unreached pin's coverage box steers expansion towards
+//!   the goal instead of growing a full circle around the tree.  The router
+//!   engages it only during negotiation iterations (see
+//!   [`NetBuffers::set_goal_directed`]), which hold the bulk of the search
+//!   effort, so the initial pass keeps the seed's solution quality.
+//!
+//! Stale heap entries are detected exactly: every queued vertex remembers the
+//! key it was queued with, so two costs that quantise to the same key can
+//! never resurrect a stale entry, and an improvement within one quantum
+//! reuses the already-queued entry instead of pushing a duplicate.
 
 use crate::{ColorCostCache, MrTplConfig, SearchPolicy};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use tpl_color::{ColorMap, ColorState, Mask};
 use tpl_design::{Design, NetId, PinId, RouteGuides};
 use tpl_geom::Dir;
-use tpl_grid::{DenseBitSet, GridGraph, GridState, PinCoverage, VertexId};
+use tpl_grid::{
+    DenseBitSet, EpochStamps, Frontier, GridGraph, GridState, PinCoverage, SearchConfig, VertexId,
+};
 
-/// Per-vertex search bookkeeping with two levels of epoch invalidation:
-/// per-search (distance, predecessor, colour state) and per-net (verSet
-/// membership, which must survive across the several pin-to-tree searches of
-/// one multi-pin net).
-#[derive(Clone, Debug)]
+/// Per-vertex search bookkeeping with three levels of epoch invalidation:
+/// per-search (distance, predecessor, colour state, queued key, target
+/// marks), and per-net (verSet membership and routed-tree membership, which
+/// must survive across the several pin-to-tree searches of one multi-pin
+/// net).
+#[derive(Debug)]
 pub struct NetBuffers {
-    search_epoch: u32,
-    search_stamp: Vec<u32>,
+    config: SearchConfig,
+    /// Guards `dist`, `prev`, `state` and `queued_key`.
+    search: EpochStamps,
     dist: Vec<f64>,
     prev: Vec<u32>,
     state: Vec<u8>,
-    net_epoch: u32,
-    net_stamp: Vec<u32>,
+    /// The exact key the vertex is currently queued under (stale-entry test).
+    queued_key: Vec<u64>,
+    /// Guards `target_pin`: which vertices are goals of the current search.
+    target: EpochStamps,
+    target_pin: Vec<u32>,
+    /// Guards `ver_set`.
+    net: EpochStamps,
     ver_set: Vec<u32>,
+    /// Guards routed-tree membership (replaces the router's `HashSet`).
+    tree: EpochStamps,
+    frontier: Frontier,
     nodes_popped: usize,
+    frontier_pruned: usize,
+    frontier_peak: usize,
+    overflow_pushes: u64,
 }
 
 impl NetBuffers {
-    /// Creates buffers for `num_vertices` grid vertices.
+    /// Creates buffers for `num_vertices` grid vertices with default knobs.
     pub fn new(num_vertices: usize) -> Self {
+        Self::with_config(num_vertices, SearchConfig::default())
+    }
+
+    /// Creates buffers for `num_vertices` grid vertices with the given
+    /// kernel configuration.
+    pub fn with_config(num_vertices: usize, config: SearchConfig) -> Self {
         Self {
-            search_epoch: 0,
-            search_stamp: vec![0; num_vertices],
+            config,
+            search: EpochStamps::new(num_vertices),
             dist: vec![f64::INFINITY; num_vertices],
             prev: vec![u32::MAX; num_vertices],
             state: vec![0; num_vertices],
-            net_epoch: 0,
-            net_stamp: vec![0; num_vertices],
+            queued_key: vec![0; num_vertices],
+            target: EpochStamps::new(num_vertices),
+            target_pin: vec![u32::MAX; num_vertices],
+            net: EpochStamps::new(num_vertices),
             ver_set: vec![u32::MAX; num_vertices],
+            tree: EpochStamps::new(num_vertices),
+            frontier: Frontier::for_config(&config),
             nodes_popped: 0,
+            frontier_pruned: 0,
+            frontier_peak: 0,
+            overflow_pushes: 0,
         }
     }
 
-    /// Starts routing a new net: all verSet pointers become stale and the
-    /// search-node counter restarts from zero.
-    pub fn begin_net(&mut self) {
-        self.net_epoch += 1;
-        self.nodes_popped = 0;
+    /// The kernel configuration these buffers were built with.
+    pub fn config(&self) -> SearchConfig {
+        self.config
     }
 
-    /// Heap pops performed by [`search`] since the last
+    /// Starts routing a new net: verSet and tree membership become stale and
+    /// the per-net search statistics restart from zero.
+    pub fn begin_net(&mut self) {
+        self.net.begin();
+        self.tree.begin();
+        self.nodes_popped = 0;
+        self.frontier_pruned = 0;
+        self.frontier_peak = 0;
+        self.overflow_pushes = 0;
+    }
+
+    /// Frontier pops performed by [`search`] since the last
     /// [`begin_net`](Self::begin_net) — the search-effort counter reported as
     /// `search_nodes` in run statistics.
     #[inline]
@@ -56,20 +114,62 @@ impl NetBuffers {
         self.nodes_popped
     }
 
-    /// Starts a new pin-to-tree search within the current net.
-    pub fn begin_search(&mut self) {
-        self.search_epoch += 1;
+    /// Frontier entries abandoned unexpanded when searches of this net ended
+    /// early — the goal-direction pruning counter.
+    #[inline]
+    pub fn frontier_pruned(&self) -> usize {
+        self.frontier_pruned
     }
 
+    /// High-water mark of live frontier entries across this net's searches.
     #[inline]
-    fn fresh_search(&self, v: usize) -> bool {
-        self.search_stamp[v] == self.search_epoch
+    pub fn frontier_peak(&self) -> usize {
+        self.frontier_peak
+    }
+
+    /// Bucket-queue pushes that spilled to the overflow heap for this net.
+    #[inline]
+    pub fn overflow_pushes(&self) -> u64 {
+        self.overflow_pushes
+    }
+
+    /// Starts a new pin-to-tree search within the current net.
+    pub fn begin_search(&mut self) {
+        self.search.begin();
+        self.target.begin();
+    }
+
+    /// Enables or disables goal-directed ordering for subsequent searches of
+    /// this buffer.
+    ///
+    /// The router keeps the seed's pure-Dijkstra expansion order for the
+    /// initial routing pass and engages A* during the negotiation
+    /// (rip-up-and-reroute) iterations.  The initial pass routes every net
+    /// over an empty, cost-flat grid where equal-cost tie-breaks decide how
+    /// nets share corridors: goal bias there pulls every net onto its
+    /// beeline, bundles them, and measurably worsens colour conflicts.
+    /// Reroutes instead run against committed occupancy, history and colour
+    /// pressure that differentiate path costs, so goal direction prunes the
+    /// wavefront — the bulk of total search effort — without degrading the
+    /// negotiated solution.
+    pub fn set_goal_directed(&mut self, enabled: bool) {
+        self.config.a_star = enabled;
+    }
+
+    /// Test hook: jump all epoch counters to `epoch` to exercise `u32`
+    /// wrap-around without 2^32 searches.
+    #[doc(hidden)]
+    pub fn force_epochs(&mut self, epoch: u32) {
+        self.search.force_epoch(epoch);
+        self.target.force_epoch(epoch);
+        self.net.force_epoch(epoch);
+        self.tree.force_epoch(epoch);
     }
 
     /// Tentative distance of a vertex in the current search.
     #[inline]
     pub fn dist(&self, v: VertexId) -> f64 {
-        if self.fresh_search(v.index()) {
+        if self.search.is_fresh(v.index()) {
             self.dist[v.index()]
         } else {
             f64::INFINITY
@@ -80,16 +180,21 @@ impl NetBuffers {
     #[inline]
     pub fn relax(&mut self, v: VertexId, dist: f64, prev: Option<VertexId>, state: ColorState) {
         let i = v.index();
-        self.search_stamp[i] = self.search_epoch;
+        let fresh = self.search.is_fresh(i);
+        self.search.touch(i);
         self.dist[i] = dist;
         self.prev[i] = prev.map(|p| p.0).unwrap_or(u32::MAX);
         self.state[i] = state.bits();
+        if !fresh {
+            // Never queued in this search: no key can be mistaken as live.
+            self.queued_key[i] = u64::MAX;
+        }
     }
 
     /// The predecessor of a vertex in the current search.
     #[inline]
     pub fn prev(&self, v: VertexId) -> Option<VertexId> {
-        if self.fresh_search(v.index()) && self.prev[v.index()] != u32::MAX {
+        if self.search.is_fresh(v.index()) && self.prev[v.index()] != u32::MAX {
             Some(VertexId::new(self.prev[v.index()]))
         } else {
             None
@@ -99,17 +204,35 @@ impl NetBuffers {
     /// The colour state a vertex was relaxed with in the current search.
     #[inline]
     pub fn state(&self, v: VertexId) -> ColorState {
-        if self.fresh_search(v.index()) {
+        if self.search.is_fresh(v.index()) {
             ColorState::from_bits(self.state[v.index()])
         } else {
             ColorState::none()
         }
     }
 
+    /// Marks a vertex as a goal of the current search for `pin`.
+    #[inline]
+    pub fn mark_target(&mut self, v: VertexId, pin: PinId) {
+        let i = v.index();
+        self.target.touch(i);
+        self.target_pin[i] = pin.0;
+    }
+
+    /// The unreached pin this vertex is a goal for, if any (O(1)).
+    #[inline]
+    pub fn target_at(&self, v: VertexId) -> Option<PinId> {
+        if self.target.is_fresh(v.index()) {
+            Some(PinId::new(self.target_pin[v.index()]))
+        } else {
+            None
+        }
+    }
+
     /// The verSet the vertex belongs to within the current net, if assigned.
     #[inline]
     pub fn ver_set(&self, v: VertexId) -> Option<tpl_color::VerSetId> {
-        if self.net_stamp[v.index()] == self.net_epoch && self.ver_set[v.index()] != u32::MAX {
+        if self.net.is_fresh(v.index()) && self.ver_set[v.index()] != u32::MAX {
             Some(tpl_color::VerSetId(self.ver_set[v.index()]))
         } else {
             None
@@ -120,8 +243,20 @@ impl NetBuffers {
     #[inline]
     pub fn set_ver_set(&mut self, v: VertexId, set: tpl_color::VerSetId) {
         let i = v.index();
-        self.net_stamp[i] = self.net_epoch;
+        self.net.touch(i);
         self.ver_set[i] = set.0;
+    }
+
+    /// Marks a vertex as part of the current net's routed tree.
+    #[inline]
+    pub fn add_tree(&mut self, v: VertexId) {
+        self.tree.touch(v.index());
+    }
+
+    /// True when the vertex belongs to the current net's routed tree.
+    #[inline]
+    pub fn in_tree(&self, v: VertexId) -> bool {
+        self.tree.is_fresh(v.index())
     }
 }
 
@@ -229,8 +364,81 @@ impl<'a> SearchContext<'a> {
     }
 }
 
-/// Colour-state searching (Algorithm 2): multi-source Dijkstra from the
-/// routed tree until a vertex covered by an unreached pin of the net is
+/// Admissible lower bound to the nearest unreached pin.
+///
+/// Each unreached pin contributes the bounding box of its coverage vertices
+/// in track coordinates plus its layer range; `h(v)` is the cheapest
+/// conceivable cost of closing the Manhattan gap to the nearest box: planar
+/// track gaps cost at least the minimum planar step and layer gaps at least
+/// one via each.  Every additive cost term of [`SearchContext::trad_cost`]
+/// and [`SearchContext::color_step`] is non-negative on top of these minima,
+/// so the bound is admissible; one grid move changes each gap by at most one
+/// step, so it is also consistent and the first goal popped is optimal.
+struct GoalBound {
+    boxes: Vec<(i32, i32, i32, i32, i32, i32)>,
+    step: f64,
+    via: f64,
+}
+
+impl GoalBound {
+    fn build(ctx: &SearchContext<'_>, unreached: &[PinId]) -> Option<Self> {
+        let cost = &ctx.config.cost;
+        // Conservative minima: honour configs where the wrong-way or
+        // base-layer multipliers dip below 1.
+        let mult = cost
+            .wrong_way_mult
+            .min(1.0)
+            .min(cost.base_layer_mult.min(1.0));
+        let step = (ctx.config.alpha * cost.wire_cost(ctx.grid.pitch()) * mult).max(0.0);
+        let via = (ctx.config.alpha * cost.via).max(0.0);
+        let mut boxes = Vec::with_capacity(unreached.len());
+        for &pin in unreached {
+            let mut bbox: Option<(i32, i32, i32, i32, i32, i32)> = None;
+            for &v in ctx.coverage.vertices(pin) {
+                let (layer, ix, iy) = ctx.grid.coords(v);
+                let (l, x, y) = (layer as i32, ix as i32, iy as i32);
+                bbox = Some(match bbox {
+                    None => (x, x, y, y, l, l),
+                    Some((x0, x1, y0, y1, l0, l1)) => (
+                        x0.min(x),
+                        x1.max(x),
+                        y0.min(y),
+                        y1.max(y),
+                        l0.min(l),
+                        l1.max(l),
+                    ),
+                });
+            }
+            if let Some(b) = bbox {
+                boxes.push(b);
+            }
+        }
+        if boxes.is_empty() {
+            return None;
+        }
+        Some(Self { boxes, step, via })
+    }
+
+    #[inline]
+    fn h(&self, grid: &GridGraph, v: VertexId) -> f64 {
+        let (layer, ix, iy) = grid.coords(v);
+        let (l, x, y) = (layer as i32, ix as i32, iy as i32);
+        let mut best = f64::INFINITY;
+        for &(x0, x1, y0, y1, l0, l1) in &self.boxes {
+            let dx = (x0 - x).max(x - x1).max(0);
+            let dy = (y0 - y).max(y - y1).max(0);
+            let dl = (l0 - l).max(l - l1).max(0);
+            let h = (dx + dy) as f64 * self.step + dl as f64 * self.via;
+            if h < best {
+                best = h;
+            }
+        }
+        best
+    }
+}
+
+/// Colour-state searching (Algorithm 2): multi-source best-first search from
+/// the routed tree until a vertex covered by an unreached pin of the net is
 /// popped.  Returns that vertex and the pin, or `None` if no unreached pin is
 /// reachable.
 pub fn search(
@@ -241,35 +449,47 @@ pub fn search(
     unreached: &[PinId],
 ) -> Option<(VertexId, PinId)> {
     buffers.begin_search();
-    let key = |c: f64| (c * 256.0) as u64;
-    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+    // O(targets) goal marking: a vertex is a goal exactly when the seed's
+    // linear test (`pin_at(v)` unreached) would have said so.
+    for &pin in unreached {
+        for &v in ctx.coverage.vertices(pin) {
+            if ctx.coverage.pin_at(v) == Some(pin) {
+                buffers.mark_target(v, pin);
+            }
+        }
+    }
+    let config = buffers.config;
+    let bound = if config.a_star {
+        GoalBound::build(ctx, unreached)
+    } else {
+        None
+    };
+    let h = |v: VertexId| bound.as_ref().map_or(0.0, |b| b.h(ctx.grid, v));
+
+    let mut frontier = std::mem::replace(&mut buffers.frontier, Frontier::for_config(&config));
+    frontier.clear();
     for &(s, state) in sources {
         if ctx.state.is_blocked(s) {
             continue;
         }
         buffers.relax(s, 0.0, None, state);
-        heap.push(Reverse((0, s.0)));
+        let k = config.key(h(s));
+        buffers.queued_key[s.index()] = k;
+        frontier.push(k, s.0);
     }
 
-    let is_target = |v: VertexId| -> Option<PinId> {
-        let pin = ctx.coverage.pin_at(v)?;
-        if ctx.design.pin(pin).net() == ctx.net && unreached.contains(&pin) {
-            Some(pin)
-        } else {
-            None
-        }
-    };
-
-    while let Some(Reverse((k, raw))) = heap.pop() {
+    let mut result = None;
+    while let Some((k, raw)) = frontier.pop() {
         buffers.nodes_popped += 1;
         let v = VertexId::new(raw);
+        if k != buffers.queued_key[v.index()] || !buffers.search.is_fresh(v.index()) {
+            continue; // stale entry (exact key comparison, no quantisation alias)
+        }
+        if let Some(pin) = buffers.target_at(v) {
+            result = Some((v, pin));
+            break;
+        }
         let d = buffers.dist(v);
-        if key(d) < k {
-            continue; // stale entry
-        }
-        if let Some(pin) = is_target(v) {
-            return Some((v, pin));
-        }
         let from_state = buffers.state(v);
         for (dir, n) in ctx.grid.neighbors(v) {
             let Some(trad) = ctx.trad_cost(v, n, dir) else {
@@ -278,12 +498,25 @@ pub fn search(
             let (step, new_state) = ctx.color_step(cache, from_state, n, dir, trad);
             let nd = d + step;
             if nd < buffers.dist(n) {
+                let was_fresh = buffers.search.is_fresh(n.index());
                 buffers.relax(n, nd, Some(v), new_state);
-                heap.push(Reverse((key(nd), n.0)));
+                let nk = config.key(nd + h(n));
+                if !was_fresh || buffers.queued_key[n.index()] != nk {
+                    // An improvement that lands on the already-queued key
+                    // reuses that entry; it will expand with the new, better
+                    // distance.  Otherwise queue under the new key and let
+                    // the exact stale test retire the old entry.
+                    buffers.queued_key[n.index()] = nk;
+                    frontier.push(nk, n.0);
+                }
             }
         }
     }
-    None
+    buffers.frontier_pruned += frontier.len();
+    buffers.frontier_peak = buffers.frontier_peak.max(frontier.max_len());
+    buffers.overflow_pushes += frontier.overflow_pushes();
+    buffers.frontier = frontier;
+    result
 }
 
 #[cfg(test)]
@@ -343,6 +576,14 @@ mod tests {
         }
     }
 
+    fn all_sources(f: &Fixture) -> Vec<(VertexId, ColorState)> {
+        f.coverage
+            .vertices(PinId::new(0))
+            .iter()
+            .map(|v| (*v, ColorState::all()))
+            .collect()
+    }
+
     #[test]
     fn search_reaches_the_second_pin_with_full_color_state() {
         let f = fixture();
@@ -352,12 +593,7 @@ mod tests {
         let mut cache = ColorCostCache::new(&f.grid);
         buffers.begin_net();
         cache.begin_net();
-        let sources: Vec<(VertexId, ColorState)> = f
-            .coverage
-            .vertices(PinId::new(0))
-            .iter()
-            .map(|v| (*v, ColorState::all()))
-            .collect();
+        let sources = all_sources(&f);
         let (dst, pin) =
             search(&c, &mut buffers, &mut cache, &sources, &[PinId::new(1)]).expect("path exists");
         assert_eq!(pin, PinId::new(1));
@@ -377,6 +613,104 @@ mod tests {
     }
 
     #[test]
+    fn every_knob_combination_reaches_the_pin_at_identical_cost() {
+        let f = fixture();
+        let in_guide = DenseBitSet::full(f.grid.num_vertices());
+        let c = ctx(&f, &in_guide);
+        let mut reference: Option<f64> = None;
+        for a_star in [false, true] {
+            for bucket_queue in [false, true] {
+                let config = SearchConfig {
+                    a_star,
+                    bucket_queue,
+                    ..SearchConfig::default()
+                };
+                let mut buffers = NetBuffers::with_config(f.grid.num_vertices(), config);
+                let mut cache = ColorCostCache::new(&f.grid);
+                buffers.begin_net();
+                cache.begin_net();
+                let sources = all_sources(&f);
+                let (dst, _) = search(&c, &mut buffers, &mut cache, &sources, &[PinId::new(1)])
+                    .expect("path exists");
+                let d = buffers.dist(dst);
+                match reference {
+                    None => reference = Some(d),
+                    Some(r) => assert!(
+                        (d - r).abs() < 1e-6,
+                        "a_star={a_star} bucket={bucket_queue}: cost {d} != {r}"
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn a_star_prunes_the_frontier() {
+        let f = fixture();
+        let in_guide = DenseBitSet::full(f.grid.num_vertices());
+        let c = ctx(&f, &in_guide);
+        let mut popped = Vec::new();
+        for a_star in [false, true] {
+            let config = SearchConfig {
+                a_star,
+                ..SearchConfig::default()
+            };
+            let mut buffers = NetBuffers::with_config(f.grid.num_vertices(), config);
+            let mut cache = ColorCostCache::new(&f.grid);
+            buffers.begin_net();
+            cache.begin_net();
+            let sources = all_sources(&f);
+            search(&c, &mut buffers, &mut cache, &sources, &[PinId::new(1)]).expect("path exists");
+            popped.push(buffers.nodes_popped());
+        }
+        assert!(
+            popped[1] < popped[0],
+            "goal direction must reduce pops: {popped:?}"
+        );
+    }
+
+    #[test]
+    fn epoch_wrap_does_not_leak_stale_search_state() {
+        let f = fixture();
+        let in_guide = DenseBitSet::full(f.grid.num_vertices());
+        let c = ctx(&f, &in_guide);
+        let mut buffers = NetBuffers::new(f.grid.num_vertices());
+        let mut cache = ColorCostCache::new(&f.grid);
+        buffers.begin_net();
+        cache.begin_net();
+        let sources = all_sources(&f);
+        let (dst_a, _) =
+            search(&c, &mut buffers, &mut cache, &sources, &[PinId::new(1)]).expect("path exists");
+        let cost_a = buffers.dist(dst_a);
+        // Jump every epoch counter to the brink of u32 wrap: the next two
+        // begin_search calls cross u32::MAX and restart at 1, which must not
+        // resurrect any stamp written before the wrap.
+        buffers.force_epochs(u32::MAX - 1);
+        for _ in 0..3 {
+            buffers.begin_net();
+            cache.begin_net();
+            let (dst_b, pin) = search(&c, &mut buffers, &mut cache, &sources, &[PinId::new(1)])
+                .expect("path exists after wrap");
+            assert_eq!(pin, PinId::new(1));
+            assert_eq!(dst_b, dst_a);
+            assert!((buffers.dist(dst_b) - cost_a).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn tree_membership_is_per_net() {
+        let f = fixture();
+        let mut buffers = NetBuffers::new(f.grid.num_vertices());
+        buffers.begin_net();
+        let v = VertexId::new(7);
+        assert!(!buffers.in_tree(v));
+        buffers.add_tree(v);
+        assert!(buffers.in_tree(v));
+        buffers.begin_net();
+        assert!(!buffers.in_tree(v), "tree marks must not survive the net");
+    }
+
+    #[test]
     fn colored_neighbor_removes_its_mask_from_the_state() {
         let mut f = fixture();
         // A red wire of another net running right next to the straight-line
@@ -393,12 +727,7 @@ mod tests {
         let mut cache = ColorCostCache::new(&f.grid);
         buffers.begin_net();
         cache.begin_net();
-        let sources: Vec<(VertexId, ColorState)> = f
-            .coverage
-            .vertices(PinId::new(0))
-            .iter()
-            .map(|v| (*v, ColorState::all()))
-            .collect();
+        let sources = all_sources(&f);
         let (dst, _) =
             search(&c, &mut buffers, &mut cache, &sources, &[PinId::new(1)]).expect("path exists");
         // The straight path on layer 0 runs within dcolor of the red wire,
@@ -420,12 +749,7 @@ mod tests {
         let mut cache = ColorCostCache::new(&f.grid);
         buffers.begin_net();
         cache.begin_net();
-        let sources: Vec<(VertexId, ColorState)> = f
-            .coverage
-            .vertices(PinId::new(0))
-            .iter()
-            .map(|v| (*v, ColorState::all()))
-            .collect();
+        let sources = all_sources(&f);
         let (dst, _) =
             search(&c, &mut buffers, &mut cache, &sources, &[PinId::new(1)]).expect("path exists");
         assert_eq!(buffers.state(dst).len(), 1);
@@ -466,5 +790,142 @@ mod tests {
             via_trad,
         );
         assert_eq!(via_set, ColorState::all());
+    }
+
+    /// Textbook O(V²) Dijkstra over the same cost model (empty colour map,
+    /// so every step costs `alpha * trad` regardless of colour state),
+    /// returning the cheapest distance to any target vertex.
+    fn reference_cheapest_target(
+        c: &SearchContext<'_>,
+        sources: &[(VertexId, ColorState)],
+        targets: &[VertexId],
+    ) -> f64 {
+        let n = c.grid.num_vertices();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut done = vec![false; n];
+        for &(s, _) in sources {
+            if !c.state.is_blocked(s) {
+                dist[s.index()] = 0.0;
+            }
+        }
+        loop {
+            let mut u = usize::MAX;
+            let mut best = f64::INFINITY;
+            for i in 0..n {
+                if !done[i] && dist[i] < best {
+                    best = dist[i];
+                    u = i;
+                }
+            }
+            if u == usize::MAX {
+                break;
+            }
+            done[u] = true;
+            let v = VertexId::new(u as u32);
+            for (dir, w) in c.grid.neighbors(v) {
+                if let Some(trad) = c.trad_cost(v, w, dir) {
+                    let nd = dist[u] + c.config.alpha * trad;
+                    if nd < dist[w.index()] {
+                        dist[w.index()] = nd;
+                    }
+                }
+            }
+        }
+        targets
+            .iter()
+            .map(|t| dist[t.index()])
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    fn xorshift(s: &mut u64) -> u64 {
+        *s ^= *s << 13;
+        *s ^= *s >> 7;
+        *s ^= *s << 17;
+        *s
+    }
+
+    /// Property test of the satellite contract: on random grids (random pin
+    /// placement AND random per-vertex history costs) every knob combination
+    /// of the kernel reaches an unreached pin at exactly the cost the seed
+    /// Dijkstra would have paid.
+    #[test]
+    fn random_grids_match_reference_dijkstra_under_every_knob() {
+        for seed in 1..=6u64 {
+            let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            let mut r = |m: u64| (xorshift(&mut s) % m) as i64;
+            // Pins in opposite halves of the die so the search has room.
+            let (ax, ay) = (6 + r(120), 6 + r(340));
+            let (bx, by) = (250 + r(120), 6 + r(340));
+            let mut b = DesignBuilder::new(
+                "rand",
+                Technology::ispd_like(3),
+                Rect::from_coords(0, 0, 400, 400),
+            );
+            let p0 = b.add_pin_shape("a", 0, Rect::from_coords(ax, ay, ax + 28, ay + 28));
+            let p1 = b.add_pin_shape("b", 0, Rect::from_coords(bx, by, bx + 28, by + 28));
+            b.add_net("n0", vec![p0, p1]);
+            let design = b.build().unwrap();
+            let grid = GridGraph::build(&design);
+            let mut gstate = GridState::new(&grid, &design);
+            // Random history costs make the shortest path non-trivial.
+            for i in 0..grid.num_vertices() {
+                if xorshift(&mut s).is_multiple_of(4) {
+                    gstate.add_history(VertexId::new(i as u32), (xorshift(&mut s) % 50) as f64);
+                }
+            }
+            let coverage = PinCoverage::build(&grid, &design);
+            let map = ColorMap::new(
+                design.die(),
+                design.tech().num_layers(),
+                design.tech().dcolor(),
+            );
+            let config = MrTplConfig::default();
+            let in_guide = DenseBitSet::full(grid.num_vertices());
+            let c = SearchContext {
+                grid: &grid,
+                state: &gstate,
+                coverage: &coverage,
+                design: &design,
+                config: &config,
+                net: NetId::new(0),
+                in_guide: &in_guide,
+                map: &map,
+            };
+            let sources: Vec<(VertexId, ColorState)> = coverage
+                .vertices(PinId::new(0))
+                .iter()
+                .map(|v| (*v, ColorState::all()))
+                .collect();
+            let targets: Vec<VertexId> = coverage
+                .vertices(PinId::new(1))
+                .iter()
+                .copied()
+                .filter(|v| coverage.pin_at(*v) == Some(PinId::new(1)))
+                .collect();
+            assert!(!sources.is_empty() && !targets.is_empty(), "seed {seed}");
+            let want = reference_cheapest_target(&c, &sources, &targets);
+            assert!(want.is_finite(), "seed {seed}: no path in reference");
+            for a_star in [false, true] {
+                for bucket_queue in [false, true] {
+                    let search_config = SearchConfig {
+                        a_star,
+                        bucket_queue,
+                        ..SearchConfig::default()
+                    };
+                    let mut buffers = NetBuffers::with_config(grid.num_vertices(), search_config);
+                    let mut cache = ColorCostCache::new(&grid);
+                    buffers.begin_net();
+                    cache.begin_net();
+                    let (dst, _) = search(&c, &mut buffers, &mut cache, &sources, &[PinId::new(1)])
+                        .expect("path exists");
+                    assert!(
+                        (buffers.dist(dst) - want).abs() < 1e-9,
+                        "seed {seed} a_star={a_star} bucket={bucket_queue}: \
+                         {} != reference {want}",
+                        buffers.dist(dst)
+                    );
+                }
+            }
+        }
     }
 }

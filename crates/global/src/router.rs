@@ -2,10 +2,10 @@
 
 use crate::GCellGrid;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use tpl_design::{Design, LayerId, NetId, RouteGuides};
 use tpl_geom::Point;
-use tpl_par::{par_map, plan_batches, Parallelism, Region};
+use tpl_grid::{EpochStamps, Frontier, SearchConfig};
+use tpl_par::{par_map_pooled, plan_batches, Parallelism, Region, ScratchPool};
 
 /// Configuration of the global router.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -31,6 +31,11 @@ pub struct GlobalConfig {
     /// routed concurrently against frozen edge demand, with updates applied
     /// at batch barriers.  The result is identical for every worker count.
     pub parallelism: Parallelism,
+    /// Shortest-path kernel knobs for the maze fallback.  The maze drains
+    /// its frontier through the goal key and rebuilds the path with a
+    /// canonical backtrace, so flipping either knob never changes the
+    /// routed paths — only the search effort.
+    pub search: SearchConfig,
 }
 
 impl Default for GlobalConfig {
@@ -44,6 +49,14 @@ impl Default for GlobalConfig {
             guide_expansion: 1,
             maze_margin: 8,
             parallelism: Parallelism::sequential(),
+            search: SearchConfig {
+                // Matches the historical `(cost * 1024.0) as u64` maze
+                // quantisation; the minimum edge cost of 1.0 is then exactly
+                // one bucket of `1 << 10` key units.
+                key_resolution: 1024.0,
+                bucket_shift: 10,
+                ..SearchConfig::default()
+            },
         }
     }
 }
@@ -70,6 +83,27 @@ struct NetRouteStats {
     pattern_routed: usize,
     maze_routed: usize,
     search_nodes: usize,
+}
+
+/// Reusable per-worker maze search state: epoch-stamped distances and queued
+/// keys plus the frontier, so a maze call allocates nothing and starts in
+/// O(1) instead of re-initialising O(cells) vectors.
+struct MazeScratch {
+    stamps: EpochStamps,
+    dist: Vec<f64>,
+    queued_key: Vec<u64>,
+    frontier: Frontier,
+}
+
+impl MazeScratch {
+    fn new(cells: usize, search: &SearchConfig) -> Self {
+        Self {
+            stamps: EpochStamps::new(cells),
+            dist: vec![f64::INFINITY; cells],
+            queued_key: vec![0; cells],
+            frontier: Frontier::for_config(search),
+        }
+    }
 }
 
 /// The gcell-based global router.
@@ -206,6 +240,7 @@ impl GlobalRouter {
         let capacity = (cfg.capacity_per_layer * planar_layers) as u32;
         let mut edges = EdgeMap::new(grid.nx(), grid.ny(), capacity);
         let mut stats = GlobalStats::default();
+        let pool: ScratchPool<MazeScratch> = ScratchPool::new(cfg.parallelism);
 
         // Net order: larger bounding boxes first (they have fewer detour
         // options), deterministic tie-break on id.
@@ -282,9 +317,15 @@ impl GlobalRouter {
             for batch in plan_batches(&regions) {
                 let nets: Vec<NetId> = batch.iter().map(|&i| queue[i]).collect();
                 tpl_trace::value!("global.batch_size", nets.len());
-                let routed = par_map(cfg.parallelism, &nets, |&net_id| {
-                    self.route_net(&grid, &edges, &net_terminals[net_id.index()])
-                })
+                let routed = par_map_pooled(
+                    cfg.parallelism,
+                    &nets,
+                    &pool,
+                    || MazeScratch::new(grid.len(), &cfg.search),
+                    |scratch, &net_id| {
+                        self.route_net(&grid, &edges, &net_terminals[net_id.index()], scratch)
+                    },
+                )
                 .unwrap_or_else(|p| panic!("{p}"));
 
                 // Barrier: commit demand and merge counters in net order.
@@ -372,6 +413,7 @@ impl GlobalRouter {
         grid: &GCellGrid,
         edges: &EdgeMap,
         terminals: &[(usize, usize)],
+        scratch: &mut MazeScratch,
     ) -> (Vec<Vec<(usize, usize)>>, NetRouteStats) {
         let mut net_stats = NetRouteStats::default();
         if terminals.len() < 2 {
@@ -383,7 +425,7 @@ impl GlobalRouter {
         for (a, b) in mst {
             let src = terminals[a];
             let dst = terminals[b];
-            paths.push(self.route_two_pin(grid, edges, src, dst, window, &mut net_stats));
+            paths.push(self.route_two_pin(grid, edges, src, dst, window, scratch, &mut net_stats));
         }
         (paths, net_stats)
     }
@@ -397,6 +439,7 @@ impl GlobalRouter {
         src: (usize, usize),
         dst: (usize, usize),
         window: (usize, usize, usize, usize),
+        scratch: &mut MazeScratch,
         net_stats: &mut NetRouteStats,
     ) -> Vec<(usize, usize)> {
         let cfg = &self.config;
@@ -416,7 +459,7 @@ impl GlobalRouter {
         // net's window.
         net_stats.maze_routed += 1;
         let _maze_span = tpl_trace::span!("global.maze");
-        let (path, nodes) = maze_route(grid, edges, src, dst, window, cfg);
+        let (path, nodes) = maze_route(grid, edges, src, dst, window, cfg, scratch);
         net_stats.search_nodes += nodes;
         path.unwrap_or(best_l.0)
     }
@@ -507,10 +550,20 @@ fn path_cost(path: &[(usize, usize)], edges: &EdgeMap, cfg: &GlobalConfig) -> f6
     cost
 }
 
-/// Dijkstra on the gcell grid with congestion-aware edge costs, confined to
-/// the `(x0, y0, x1, y1)` window (inclusive).  Any rectangular window is
-/// connected, so the search always succeeds when both endpoints lie inside
-/// it.  Also returns the number of heap pops (search effort).
+/// Best-first search on the gcell grid with congestion-aware edge costs,
+/// confined to the `(x0, y0, x1, y1)` window (inclusive).  Any rectangular
+/// window is connected, so the search always succeeds when both endpoints
+/// lie inside it.  Also returns the number of frontier pops (search effort).
+///
+/// The search is knob-independent by construction: instead of stopping when
+/// the goal pops, it drains every frontier entry whose key is within one
+/// quantum of the goal's settled key.  Every vertex on an optimal path is
+/// then settled to its exact minimal float distance whether or not the
+/// admissible Manhattan heuristic reordered the expansions, and the path is
+/// rebuilt by a *canonical backtrace* — walking from the goal and taking the
+/// first neighbour (in fixed west/east/south/north order) whose settled
+/// distance exactly accounts for the connecting edge.  The returned path is
+/// therefore a pure function of the edge costs, not of expansion order.
 fn maze_route(
     grid: &GCellGrid,
     edges: &EdgeMap,
@@ -518,94 +571,125 @@ fn maze_route(
     dst: (usize, usize),
     window: (usize, usize, usize, usize),
     cfg: &GlobalConfig,
+    scratch: &mut MazeScratch,
 ) -> (Option<Vec<(usize, usize)>>, usize) {
-    let n = grid.len();
     let (wx0, wy0, wx1, wy1) = window;
-    let mut dist = vec![f64::INFINITY; n];
-    let mut prev = vec![usize::MAX; n];
-    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    let search = &cfg.search;
     let start = grid.index(src.0, src.1);
     let goal = grid.index(dst.0, dst.1);
+    if start == goal {
+        return (Some(vec![src]), 0);
+    }
+    // Admissible, consistent lower bound: every gcell step costs >= 1.0.
+    let h = |x: usize, y: usize| -> f64 {
+        if search.a_star {
+            ((x as i64 - dst.0 as i64).abs() + (y as i64 - dst.1 as i64).abs()) as f64
+        } else {
+            0.0
+        }
+    };
+
+    let MazeScratch {
+        stamps,
+        dist,
+        queued_key,
+        frontier,
+    } = scratch;
+    stamps.begin();
+    frontier.clear();
+    stamps.touch(start);
     dist[start] = 0.0;
-    heap.push(Reverse((0, start)));
-    let key = |c: f64| (c * 1024.0) as u64;
+    let start_key = search.key(h(src.0, src.1));
+    queued_key[start] = start_key;
+    frontier.push(start_key, start as u32);
     let mut popped = 0usize;
 
-    while let Some(Reverse((_, u))) = heap.pop() {
+    while let Some((k, raw)) = frontier.pop() {
         popped += 1;
-        if u == goal {
+        let u = raw as usize;
+        if !stamps.is_fresh(u) || k != queued_key[u] {
+            continue; // stale entry (exact key comparison)
+        }
+        if stamps.is_fresh(goal) && k > search.key(dist[goal]) + 1 {
+            // Every entry within one quantum of the goal's settled key has
+            // been expanded: all optimal-path vertices hold their final
+            // distances and the canonical backtrace below is exact.  The
+            // one-quantum slack absorbs float-rounding noise at quantisation
+            // boundaries.
             break;
         }
         let ux = u % grid.nx();
         let uy = u / grid.nx();
         let du = dist[u];
-        let push = |vx: usize,
-                    vy: usize,
-                    cost: f64,
-                    heap: &mut BinaryHeap<Reverse<(u64, usize)>>,
-                    dist: &mut Vec<f64>,
-                    prev: &mut Vec<usize>| {
+        let mut relax = |vx: usize, vy: usize, cost: f64, frontier: &mut Frontier| {
             let v = grid.index(vx, vy);
             let nd = du + cost;
-            if nd < dist[v] {
+            let fresh = stamps.is_fresh(v);
+            if !fresh || nd < dist[v] {
+                stamps.touch(v);
                 dist[v] = nd;
-                prev[v] = u;
-                heap.push(Reverse((key(nd), v)));
+                let nk = search.key(nd + h(vx, vy));
+                if !fresh || queued_key[v] != nk {
+                    queued_key[v] = nk;
+                    frontier.push(nk, v as u32);
+                }
             }
         };
         if ux < wx1 {
-            push(
-                ux + 1,
-                uy,
-                edges.h_cost(ux, uy, cfg),
-                &mut heap,
-                &mut dist,
-                &mut prev,
-            );
+            relax(ux + 1, uy, edges.h_cost(ux, uy, cfg), frontier);
         }
         if ux > wx0 {
-            push(
-                ux - 1,
-                uy,
-                edges.h_cost(ux - 1, uy, cfg),
-                &mut heap,
-                &mut dist,
-                &mut prev,
-            );
+            relax(ux - 1, uy, edges.h_cost(ux - 1, uy, cfg), frontier);
         }
         if uy < wy1 {
-            push(
-                ux,
-                uy + 1,
-                edges.v_cost(ux, uy, cfg),
-                &mut heap,
-                &mut dist,
-                &mut prev,
-            );
+            relax(ux, uy + 1, edges.v_cost(ux, uy, cfg), frontier);
         }
         if uy > wy0 {
-            push(
-                ux,
-                uy - 1,
-                edges.v_cost(ux, uy - 1, cfg),
-                &mut heap,
-                &mut dist,
-                &mut prev,
-            );
+            relax(ux, uy - 1, edges.v_cost(ux, uy - 1, cfg), frontier);
         }
     }
 
-    if dist[goal].is_infinite() {
+    if !stamps.is_fresh(goal) {
         return (None, popped);
     }
-    let mut path = Vec::new();
-    let mut cur = goal;
-    while cur != usize::MAX {
-        path.push((cur % grid.nx(), cur / grid.nx()));
-        if cur == start {
-            break;
+    // Canonical backtrace: from the goal, take the first in-window
+    // neighbour (west, east, south, north) whose settled distance plus the
+    // connecting edge cost reproduces this vertex's distance bit-for-bit.
+    // The settled distances are the exact minima over all path sums, so the
+    // chosen predecessor — and hence the whole path — does not depend on
+    // the order the search expanded vertices in.
+    let mut path = vec![dst];
+    let (mut cx, mut cy) = dst;
+    while (cx, cy) != src {
+        let cur = grid.index(cx, cy);
+        let d = dist[cur];
+        let mut step: Option<(usize, usize)> = None;
+        let consider = |vx: usize, vy: usize, cost: f64, step: &mut Option<(usize, usize)>| {
+            if step.is_none() {
+                let v = grid.index(vx, vy);
+                if stamps.is_fresh(v) && dist[v] + cost == d {
+                    *step = Some((vx, vy));
+                }
+            }
+        };
+        if cx > wx0 {
+            consider(cx - 1, cy, edges.h_cost(cx - 1, cy, cfg), &mut step);
         }
-        cur = prev[cur];
+        if cx < wx1 {
+            consider(cx + 1, cy, edges.h_cost(cx, cy, cfg), &mut step);
+        }
+        if cy > wy0 {
+            consider(cx, cy - 1, edges.v_cost(cx, cy - 1, cfg), &mut step);
+        }
+        if cy < wy1 {
+            consider(cx, cy + 1, edges.v_cost(cx, cy, cfg), &mut step);
+        }
+        let Some((px, py)) = step else {
+            // Defensive: cannot happen for settled distances, but never loop.
+            return (None, popped);
+        };
+        path.push((px, py));
+        (cx, cy) = (px, py);
     }
     path.reverse();
     (Some(path), popped)
@@ -730,14 +814,9 @@ mod tests {
         let grid = GCellGrid::build(&d, 5);
         let edges = EdgeMap::new(grid.nx(), grid.ny(), 10);
         let window = (0, 0, grid.nx() - 1, grid.ny() - 1);
-        let (path, nodes) = maze_route(
-            &grid,
-            &edges,
-            (0, 0),
-            (5, 5),
-            window,
-            &GlobalConfig::default(),
-        );
+        let cfg = GlobalConfig::default();
+        let mut scratch = MazeScratch::new(grid.len(), &cfg.search);
+        let (path, nodes) = maze_route(&grid, &edges, (0, 0), (5, 5), window, &cfg, &mut scratch);
         let path = path.unwrap();
         assert_eq!(path.len(), 11);
         assert_eq!(path[0], (0, 0));
@@ -759,16 +838,167 @@ mod tests {
         let grid = GCellGrid::build(&d, 5);
         let edges = EdgeMap::new(grid.nx(), grid.ny(), 10);
         let cfg = GlobalConfig::default();
+        let mut scratch = MazeScratch::new(grid.len(), &cfg.search);
         let full = (0, 0, grid.nx() - 1, grid.ny() - 1);
-        let (wide_path, wide_nodes) = maze_route(&grid, &edges, (0, 0), (5, 5), full, &cfg);
-        let (tight_path, tight_nodes) =
-            maze_route(&grid, &edges, (0, 0), (5, 5), (0, 0, 5, 5), &cfg);
+        let (wide_path, wide_nodes) =
+            maze_route(&grid, &edges, (0, 0), (5, 5), full, &cfg, &mut scratch);
+        let (tight_path, tight_nodes) = maze_route(
+            &grid,
+            &edges,
+            (0, 0),
+            (5, 5),
+            (0, 0, 5, 5),
+            &cfg,
+            &mut scratch,
+        );
         // The bounded search finds an equally short path with fewer pops.
         assert_eq!(
             tight_path.as_ref().unwrap().len(),
             wide_path.as_ref().unwrap().len()
         );
         assert!(tight_nodes <= wide_nodes);
+    }
+
+    fn xorshift(s: &mut u64) -> u64 {
+        *s ^= *s << 13;
+        *s ^= *s >> 7;
+        *s ^= *s << 17;
+        *s
+    }
+
+    /// Textbook O(V²) Dijkstra over the same congestion costs, returning the
+    /// exact distance to `dst` (the float sums associate left-to-right along
+    /// a path, exactly like the kernel's relaxations).
+    fn reference_maze_cost(
+        nx: usize,
+        ny: usize,
+        edges: &EdgeMap,
+        src: (usize, usize),
+        dst: (usize, usize),
+        cfg: &GlobalConfig,
+    ) -> f64 {
+        let n = nx * ny;
+        let mut dist = vec![f64::INFINITY; n];
+        let mut done = vec![false; n];
+        dist[src.1 * nx + src.0] = 0.0;
+        loop {
+            let mut u = usize::MAX;
+            let mut best = f64::INFINITY;
+            for i in 0..n {
+                if !done[i] && dist[i] < best {
+                    best = dist[i];
+                    u = i;
+                }
+            }
+            if u == usize::MAX {
+                break;
+            }
+            done[u] = true;
+            let (x, y) = (u % nx, u / nx);
+            let mut relax = |tx: usize, ty: usize, cost: f64| {
+                let t = ty * nx + tx;
+                let nd = dist[u] + cost;
+                if nd < dist[t] {
+                    dist[t] = nd;
+                }
+            };
+            if x > 0 {
+                relax(x - 1, y, edges.h_cost(x - 1, y, cfg));
+            }
+            if x + 1 < nx {
+                relax(x + 1, y, edges.h_cost(x, y, cfg));
+            }
+            if y > 0 {
+                relax(x, y - 1, edges.v_cost(x, y - 1, cfg));
+            }
+            if y + 1 < ny {
+                relax(x, y + 1, edges.v_cost(x, y, cfg));
+            }
+        }
+        dist[dst.1 * nx + dst.0]
+    }
+
+    /// The cost of a returned path, summed src-to-dst like the search does.
+    fn path_cost(path: &[(usize, usize)], edges: &EdgeMap, cfg: &GlobalConfig) -> f64 {
+        let mut total = 0.0;
+        for w in path.windows(2) {
+            let ((ax, ay), (bx, by)) = (w[0], w[1]);
+            total += if ay == by {
+                edges.h_cost(ax.min(bx), ay, cfg)
+            } else {
+                edges.v_cost(ax, ay.min(by), cfg)
+            };
+        }
+        total
+    }
+
+    /// Property test of the kernel's determinism contract in the global
+    /// router: on random congestion maps (random history and demand), every
+    /// knob combination returns the IDENTICAL path — not just an equal-cost
+    /// one — and that path's cost matches a reference Dijkstra exactly.
+    #[test]
+    fn random_congestion_maps_yield_identical_paths_under_every_knob() {
+        let mut b = DesignBuilder::new(
+            "rc",
+            Technology::ispd_like(3),
+            Rect::from_coords(0, 0, 1000, 1000),
+        );
+        let p0 = b.add_pin_shape("a", 0, Rect::from_coords(0, 0, 10, 10));
+        let p1 = b.add_pin_shape("b", 0, Rect::from_coords(900, 900, 910, 910));
+        b.add_net("n", vec![p0, p1]);
+        let d = b.build().unwrap();
+        let grid = GCellGrid::build(&d, 5);
+        let (nx, ny) = (grid.nx(), grid.ny());
+        let window = (0, 0, nx - 1, ny - 1);
+        for seed in 1..=6u64 {
+            let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            let mut edges = EdgeMap::new(nx, ny, 3);
+            for i in 0..edges.h_history.len() {
+                edges.h_history[i] = (xorshift(&mut s) % 8) as f64 * 0.5;
+                edges.h_demand[i] = (xorshift(&mut s) % 5) as u32;
+            }
+            for i in 0..edges.v_history.len() {
+                edges.v_history[i] = (xorshift(&mut s) % 8) as f64 * 0.5;
+                edges.v_demand[i] = (xorshift(&mut s) % 5) as u32;
+            }
+            let src = (
+                (xorshift(&mut s) as usize) % nx,
+                (xorshift(&mut s) as usize) % ny,
+            );
+            let dst = (
+                (xorshift(&mut s) as usize) % nx,
+                (xorshift(&mut s) as usize) % ny,
+            );
+            let base_cfg = GlobalConfig::default();
+            let want = reference_maze_cost(nx, ny, &edges, src, dst, &base_cfg);
+            let mut baseline: Option<Vec<(usize, usize)>> = None;
+            for a_star in [false, true] {
+                for bucket_queue in [false, true] {
+                    let cfg = GlobalConfig {
+                        search: SearchConfig {
+                            a_star,
+                            bucket_queue,
+                            ..base_cfg.search
+                        },
+                        ..base_cfg
+                    };
+                    let mut scratch = MazeScratch::new(grid.len(), &cfg.search);
+                    let (path, _) = maze_route(&grid, &edges, src, dst, window, &cfg, &mut scratch);
+                    let path = path.expect("full window always has a path");
+                    assert!(
+                        (path_cost(&path, &edges, &cfg) - want).abs() < 1e-9,
+                        "seed {seed} a_star={a_star} bucket={bucket_queue}: cost drift"
+                    );
+                    match &baseline {
+                        None => baseline = Some(path),
+                        Some(reference) => assert_eq!(
+                            &path, reference,
+                            "seed {seed} a_star={a_star} bucket={bucket_queue}: path differs"
+                        ),
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,145 @@
+//! Generation-stamped validity tracking for reusable search buffers.
+//!
+//! A search kernel that runs thousands of times per case cannot afford to
+//! re-initialise O(V) scratch vectors before every run.  [`EpochStamps`]
+//! implements the classic generation-counter trick: every slot carries the
+//! epoch in which it was last written, and bumping the epoch invalidates all
+//! slots in O(1).  The wrap-around case (`u32::MAX` epochs) is handled by
+//! clearing the stamp array once and restarting, so stale stamps from a
+//! previous lap can never alias a fresh epoch.
+
+/// Per-slot generation stamps with O(1) bulk invalidation.
+///
+/// A slot is *fresh* when its stamp equals the current epoch.  Callers mark a
+/// slot fresh with [`EpochStamps::touch`] after writing the payload arrays it
+/// guards, and must treat the payload as garbage whenever
+/// [`EpochStamps::is_fresh`] is false.
+#[derive(Debug, Clone)]
+pub struct EpochStamps {
+    epoch: u32,
+    stamp: Vec<u32>,
+}
+
+impl EpochStamps {
+    /// Creates stamps for `len` slots, all stale until the first `begin`.
+    pub fn new(len: usize) -> Self {
+        Self {
+            // Slots start at 0 and the first `begin` moves the epoch to 1,
+            // so a freshly-built instance has no accidentally-fresh slot.
+            epoch: 0,
+            stamp: vec![0; len],
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.stamp.len()
+    }
+
+    /// True when there are no slots.
+    pub fn is_empty(&self) -> bool {
+        self.stamp.is_empty()
+    }
+
+    /// Grows the slot count to at least `len` (new slots are stale).
+    pub fn resize(&mut self, len: usize) {
+        if len > self.stamp.len() {
+            // 0 is never the current epoch (begin() starts at 1), so new
+            // slots are stale regardless of how many epochs have passed.
+            self.stamp.resize(len, 0);
+        }
+    }
+
+    /// Starts a new epoch, invalidating every slot in O(1).
+    ///
+    /// On `u32` exhaustion the stamp array is cleared once and the counter
+    /// restarts at 1, so stamps written billions of epochs ago can never
+    /// collide with the new epoch.
+    pub fn begin(&mut self) {
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// Current epoch value (diagnostic; tests use it to observe rollover).
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Jumps the epoch counter to `epoch`.
+    ///
+    /// Test hook for exercising the `u32` wrap without 2^32 `begin` calls;
+    /// production code has no reason to call this.
+    pub fn force_epoch(&mut self, epoch: u32) {
+        self.epoch = epoch;
+    }
+
+    /// True when slot `i` was touched in the current epoch.
+    #[inline]
+    pub fn is_fresh(&self, i: usize) -> bool {
+        self.stamp[i] == self.epoch
+    }
+
+    /// Marks slot `i` fresh for the current epoch.
+    #[inline]
+    pub fn touch(&mut self, i: usize) {
+        self.stamp[i] = self.epoch;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn begin_invalidates_all_slots() {
+        let mut s = EpochStamps::new(4);
+        s.begin();
+        s.touch(1);
+        s.touch(3);
+        assert!(s.is_fresh(1));
+        assert!(s.is_fresh(3));
+        assert!(!s.is_fresh(0));
+        s.begin();
+        for i in 0..4 {
+            assert!(!s.is_fresh(i), "slot {i} must be stale after begin");
+        }
+    }
+
+    #[test]
+    fn rollover_clears_stale_stamps() {
+        let mut s = EpochStamps::new(3);
+        s.begin();
+        s.touch(0);
+        // Jump to the last representable epoch and touch a different slot.
+        s.force_epoch(u32::MAX - 1);
+        s.begin(); // epoch == u32::MAX
+        assert_eq!(s.epoch(), u32::MAX);
+        s.touch(1);
+        assert!(s.is_fresh(1));
+        // The next begin wraps: every stamp (including the one written at
+        // u32::MAX and the ancient one at 1) must read stale.
+        s.begin();
+        assert_eq!(s.epoch(), 1);
+        for i in 0..3 {
+            assert!(!s.is_fresh(i), "slot {i} leaked across the wrap");
+        }
+        // And the restarted counter behaves normally.
+        s.touch(2);
+        assert!(s.is_fresh(2));
+    }
+
+    #[test]
+    fn resize_adds_stale_slots() {
+        let mut s = EpochStamps::new(1);
+        s.begin();
+        s.touch(0);
+        s.resize(3);
+        assert_eq!(s.len(), 3);
+        assert!(s.is_fresh(0));
+        assert!(!s.is_fresh(1));
+        assert!(!s.is_fresh(2));
+    }
+}

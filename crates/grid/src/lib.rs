@@ -26,15 +26,21 @@
 #![warn(missing_docs)]
 
 mod bitset;
+mod bucket;
 mod costs;
+mod epoch;
 mod graph;
+mod kernel;
 mod path;
 mod pins;
 mod state;
 
 pub use bitset::DenseBitSet;
+pub use bucket::BucketQueue;
 pub use costs::CostParams;
+pub use epoch::EpochStamps;
 pub use graph::{GridGraph, VertexId};
+pub use kernel::{Frontier, SearchConfig};
 pub use path::path_to_routed_net;
 pub use pins::PinCoverage;
 pub use state::GridState;

@@ -32,11 +32,26 @@ pub fn prepare_case_parallel(params: &CaseParams, net_jobs: usize) -> (Design, R
 /// Prepares any benchmark [`Case`] — synthetic or externally ingested — by
 /// instantiating its design and routing the guides with `net_jobs` workers.
 pub fn prepare(case: &Case, net_jobs: usize) -> (Design, RouteGuides) {
+    prepare_with_search(case, net_jobs, true, true)
+}
+
+/// Like [`prepare`], with explicit search-kernel knobs for the global
+/// router's maze search.  The global router's solution is invariant to both
+/// knobs (the kernel's determinism contract), so every variant produces the
+/// same guides; the knobs only change search effort.
+pub fn prepare_with_search(
+    case: &Case,
+    net_jobs: usize,
+    a_star: bool,
+    bucket_queue: bool,
+) -> (Design, RouteGuides) {
     let design = case.instantiate();
-    let config = GlobalConfig {
+    let mut config = GlobalConfig {
         parallelism: Parallelism::new(net_jobs),
         ..GlobalConfig::default()
     };
+    config.search.a_star = a_star;
+    config.search.bucket_queue = bucket_queue;
     let guides = GlobalRouter::new(config).route(&design);
     (design, guides)
 }

@@ -48,12 +48,15 @@ impl Method for MrTplMethod {
     fn run(&self, case: &PreparedCase) -> CaseRecord {
         let prepared = case.get();
         let (design, guides) = &*prepared;
-        // The scheduler's `--net-jobs` composes with (and overrides) the
-        // method's own default; determinism is guaranteed by the router.
-        let config = MrTplConfig {
+        // The scheduler's `--net-jobs` and search knobs compose with (and
+        // override) the method's own defaults; determinism is guaranteed by
+        // the router.
+        let mut config = MrTplConfig {
             parallelism: Parallelism::new(case.net_jobs()),
             ..self.config
         };
+        config.search.a_star = case.a_star();
+        config.search.bucket_queue = case.bucket_queue();
         flows::run_mrtpl(design, guides, &config).0
     }
 }

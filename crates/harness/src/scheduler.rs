@@ -49,6 +49,8 @@ pub struct PreparedCase<'a> {
     case: &'a Case,
     slot: &'a CaseSlot,
     net_jobs: usize,
+    a_star: bool,
+    bucket_queue: bool,
 }
 
 impl PreparedCase<'_> {
@@ -64,6 +66,19 @@ impl PreparedCase<'_> {
         self.net_jobs
     }
 
+    /// Whether goal-directed A* is enabled (`RunOptions::a_star`).  Methods
+    /// with a search kernel thread this into their router configuration.
+    pub fn a_star(&self) -> bool {
+        self.a_star
+    }
+
+    /// Whether the bucket priority queue is enabled
+    /// (`RunOptions::bucket_queue`).  Never changes any record — the kernel
+    /// guarantees identical pop order with either frontier.
+    pub fn bucket_queue(&self) -> bool {
+        self.bucket_queue
+    }
+
     /// The generated design and its route guides, built on first use.
     pub fn get(&self) -> Arc<(Design, RouteGuides)> {
         let mut guard = lock_ignoring_poison(&self.slot.data);
@@ -75,7 +90,12 @@ impl PreparedCase<'_> {
         // aggregates stay independent of the worker count.
         let _untasked = tpl_trace::untasked();
         let _prepare_span = tpl_trace::span!("harness.prepare");
-        let prepared = Arc::new(flows::prepare(self.case, self.net_jobs));
+        let prepared = Arc::new(flows::prepare_with_search(
+            self.case,
+            self.net_jobs,
+            self.a_star,
+            self.bucket_queue,
+        ));
         *guard = Some(prepared.clone());
         prepared
     }
@@ -104,6 +124,15 @@ pub struct RunOptions {
     /// primary report ([`RunReport::to_json`](crate::RunReport::to_json)
     /// ignores phases) — they surface only in trace exports.
     pub trace: bool,
+    /// Goal-directed A* in the search kernels (default on).  The global
+    /// router's solution is invariant to this knob; the Mr.TPL colour-state
+    /// search preserves path cost but may pick different equal-cost ties, so
+    /// turning it off can change mrtpl records.
+    pub a_star: bool,
+    /// Bucket (Dial) priority queue in the search kernels (default on).
+    /// Guaranteed to never change any record — pop order is identical to the
+    /// binary-heap fallback by construction.
+    pub bucket_queue: bool,
 }
 
 impl Default for RunOptions {
@@ -113,6 +142,8 @@ impl Default for RunOptions {
             deterministic: false,
             net_jobs: 1,
             trace: false,
+            a_star: true,
+            bucket_queue: true,
         }
     }
 }
@@ -243,6 +274,8 @@ pub fn run_matrix(methods: &[&dyn Method], cases: &[Case], options: &RunOptions)
                             case: &cases[c],
                             slot: &prepared[c],
                             net_jobs: options.net_jobs.max(1),
+                            a_star: options.a_star,
+                            bucket_queue: options.bucket_queue,
                         };
                         let task = task_base.map(|base| base + index as u64);
                         let record = run_job(methods[m], &case, options, task);

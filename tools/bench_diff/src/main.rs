@@ -39,21 +39,44 @@ bench-diff — compare two mrtpl-bench JSON reports
 
 USAGE:
   bench-diff <baseline.json> <new.json> [--threshold <FRACTION>]
-             [--format <lines|table>]
+             [--format <lines|table>] [--ignore <COUNTER>]...
+             [--require-improvement <COUNTER>]...
+             [--require-no-regression <COUNTER>]... [--totals] [--exact]
 
 Fails (exit 1) when any non-wall-clock counter of any (method, case) pair
 regresses by more than the threshold (default 0.25 = 25%), or when a
 baseline record is missing or failed in the new report.
 
+  --ignore <COUNTER>               skip this counter entirely (repeatable)
+  --require-improvement <COUNTER>  additionally fail unless the counter's
+                                   total over all paired records STRICTLY
+                                   improves (new sum < old sum); repeatable
+  --require-no-regression <COUNTER>
+                                   additionally fail if the counter's total
+                                   over all paired records grows at all
+                                   (new sum > old sum); repeatable
+  --totals                         compare per-method totals instead of
+                                   per-(method, case) records: right for
+                                   baselines where individual cases may
+                                   trade against each other but aggregate
+                                   quality must hold
+  --exact                          any drift of any compared counter is
+                                   fatal, improvements included (used to
+                                   prove two runs are result-identical)
+
 When both reports carry `phases` blocks (the metrics.json export of
 `mrtpl-bench --trace`), per-phase counters are compared too; phase drift is
-reported as a warning, never a failure.  `--format table` prints an aligned
+reported as a warning, never a failure (even under --exact, where only the
+acceptance counters must match).  `--format table` prints an aligned
 old/new/delta table of every compared counter instead of one line per
 problem.
 ";
 
 /// One record key: the `(method, case)` pair the reports are joined on.
 type Key = (String, String);
+
+/// `--totals` accumulator entry: `(method, counter) -> (old sum, new sum)`.
+type MethodTotal = ((String, &'static str), (f64, f64));
 
 /// The `ok` records of a report keyed for joining, plus its failed keys.
 type KeyedRecords<'a> = (Vec<(Key, &'a JsonValue)>, Vec<Key>);
@@ -63,6 +86,14 @@ type KeyedRecords<'a> = (Vec<(Key, &'a JsonValue)>, Vec<Key>);
 enum Problem {
     /// A counter rose past the threshold: `(key, counter, old, new)`.
     Regression(Key, &'static str, f64, f64),
+    /// A counter changed at all under `--exact`: `(key, counter, old, new)`.
+    Drift(Key, &'static str, f64, f64),
+    /// A `--require-improvement` counter's total did not strictly improve:
+    /// `(counter, old sum, new sum)`.
+    NotImproved(String, f64, f64),
+    /// A `--require-no-regression` counter's total grew:
+    /// `(counter, old sum, new sum)`.
+    TotalRegressed(String, f64, f64),
     /// A counter went `0 -> positive`; reported, not fatal.
     FromZero(Key, &'static str, f64),
     /// A per-phase counter drifted past the threshold; reported, not fatal
@@ -85,6 +116,15 @@ impl Problem {
                 "REGRESSION {m}/{c}: {counter} {old} -> {new} (+{:.1}%)",
                 100.0 * (new - old) / old
             ),
+            Problem::Drift((m, c), counter, old, new) => {
+                format!("DRIFT {m}/{c}: {counter} {old} -> {new} (exact mode)")
+            }
+            Problem::NotImproved(counter, old, new) => format!(
+                "NOT IMPROVED: total {counter} {old} -> {new} (strict improvement required)"
+            ),
+            Problem::TotalRegressed(counter, old, new) => {
+                format!("REGRESSED: total {counter} {old} -> {new} (no regression allowed)")
+            }
             Problem::FromZero((m, c), counter, new) => {
                 format!("warning {m}/{c}: {counter} 0 -> {new}")
             }
@@ -150,17 +190,49 @@ fn phase_counters(record: &JsonValue) -> Vec<(&str, f64)> {
         .collect()
 }
 
+/// How [`diff_reports`] compares the two reports.
+#[derive(Debug, Clone, Default)]
+struct DiffOptions {
+    /// Regression threshold as a fraction (0.25 = 25%).
+    threshold: f64,
+    /// Counters excluded from every comparison (`--ignore`).
+    ignore: Vec<String>,
+    /// Counters whose totals must strictly improve
+    /// (`--require-improvement`).
+    require_improvement: Vec<String>,
+    /// Counters whose totals must not grow (`--require-no-regression`).
+    require_no_regression: Vec<String>,
+    /// Compare per-method totals instead of per-(method, case) records
+    /// (`--totals`).
+    totals: bool,
+    /// Any drift of any compared counter is fatal (`--exact`).
+    exact: bool,
+}
+
 /// Compares two parsed reports; the returned problems are in baseline record
 /// order, counters within a record in [`COUNTERS`] order, then per-phase
-/// counters in report order.
+/// counters in report order, then one entry per `--require-improvement`
+/// counter that failed to improve.
 fn diff_reports(
     baseline: &JsonValue,
     new: &JsonValue,
-    threshold: f64,
+    options: &DiffOptions,
 ) -> Result<Vec<Problem>, String> {
     let (old_records, _) = records_by_key(baseline)?;
     let (new_records, new_failed) = records_by_key(new)?;
     let mut problems = Vec::new();
+    // (counter, old sum, new sum, seen on any paired record).
+    let mut improvements: Vec<(&str, f64, f64, bool)> = options
+        .require_improvement
+        .iter()
+        .map(|c| (c.as_str(), 0.0, 0.0, false))
+        .collect();
+    let mut no_regressions: Vec<(&str, f64, f64, bool)> = options
+        .require_no_regression
+        .iter()
+        .map(|c| (c.as_str(), 0.0, 0.0, false))
+        .collect();
+    let mut method_totals: Vec<MethodTotal> = Vec::new();
     for (key, old_record) in &old_records {
         let Some((_, new_record)) = new_records.iter().find(|(k, _)| k == key) else {
             if new_failed.contains(key) {
@@ -170,7 +242,22 @@ fn diff_reports(
             }
             continue;
         };
+        for (counter, old_sum, new_sum, seen) in
+            improvements.iter_mut().chain(no_regressions.iter_mut())
+        {
+            if let (Some(old), Some(new)) = (
+                counter_value(old_record, counter),
+                counter_value(new_record, counter),
+            ) {
+                *old_sum += old;
+                *new_sum += new;
+                *seen = true;
+            }
+        }
         for counter in COUNTERS {
+            if options.ignore.iter().any(|i| i == counter) {
+                continue;
+            }
             // A counter absent on either side is skipped: reports from
             // before the column existed stay comparable.
             let (Some(old), Some(new)) = (
@@ -179,7 +266,23 @@ fn diff_reports(
             ) else {
                 continue;
             };
-            if old > 0.0 && new > old * (1.0 + threshold) {
+            if options.totals {
+                // Defer to the per-method aggregate comparison below.
+                let slot = (key.0.clone(), counter);
+                match method_totals.iter_mut().find(|(k, _)| *k == slot) {
+                    Some((_, sums)) => {
+                        sums.0 += old;
+                        sums.1 += new;
+                    }
+                    None => method_totals.push((slot, (old, new))),
+                }
+                continue;
+            }
+            if options.exact {
+                if new != old {
+                    problems.push(Problem::Drift(key.clone(), counter, old, new));
+                }
+            } else if old > 0.0 && new > old * (1.0 + options.threshold) {
                 problems.push(Problem::Regression(key.clone(), counter, old, new));
             } else if old == 0.0 && new > 0.0 {
                 problems.push(Problem::FromZero(key.clone(), counter, new));
@@ -193,9 +296,40 @@ fn diff_reports(
             let Some(&(_, new)) = new_phases.iter().find(|(n, _)| *n == name) else {
                 continue;
             };
-            if old > 0.0 && (new - old).abs() > old * threshold {
+            if old > 0.0 && (new - old).abs() > old * options.threshold {
                 problems.push(Problem::PhaseDrift(key.clone(), name.to_string(), old, new));
             }
+        }
+    }
+    // Per-method aggregate comparison (`--totals`): same thresholds and
+    // exactness rules as the per-record path, applied to the sums, keyed as
+    // `method/total`.
+    for ((method, counter), (old, new)) in method_totals {
+        let key = (method, "total".to_string());
+        if options.exact {
+            if new != old {
+                problems.push(Problem::Drift(key, counter, old, new));
+            }
+        } else if old > 0.0 && new > old * (1.0 + options.threshold) {
+            problems.push(Problem::Regression(key, counter, old, new));
+        } else if old == 0.0 && new > 0.0 {
+            problems.push(Problem::FromZero(key, counter, new));
+        }
+    }
+    // A counter never seen on any paired record also fails: a typo'd
+    // `--require-improvement` name must not pass silently.
+    for (counter, old_sum, new_sum, seen) in improvements {
+        if !seen || new_sum >= old_sum {
+            problems.push(Problem::NotImproved(counter.to_string(), old_sum, new_sum));
+        }
+    }
+    for (counter, old_sum, new_sum, seen) in no_regressions {
+        if !seen || new_sum > old_sum {
+            problems.push(Problem::TotalRegressed(
+                counter.to_string(),
+                old_sum,
+                new_sum,
+            ));
         }
     }
     Ok(problems)
@@ -276,19 +410,52 @@ fn render_table(rows: &[[String; 5]]) -> String {
 
 fn run(args: &[String]) -> Result<(Vec<Problem>, Option<String>), String> {
     let mut paths = Vec::new();
-    let mut threshold = 0.25f64;
+    let mut options = DiffOptions {
+        threshold: 0.25,
+        ..DiffOptions::default()
+    };
     let mut table = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--threshold" => {
                 let v = iter.next().ok_or("missing value after --threshold")?;
-                threshold = v
+                options.threshold = v
                     .parse::<f64>()
                     .ok()
                     .filter(|t| t.is_finite() && *t >= 0.0)
                     .ok_or_else(|| format!("invalid --threshold value `{v}`"))?;
             }
+            "--ignore" => {
+                let v = iter.next().ok_or("missing value after --ignore")?;
+                options.ignore.push(v.clone());
+            }
+            "--require-improvement" => {
+                let v = iter
+                    .next()
+                    .ok_or("missing value after --require-improvement")?;
+                if !COUNTERS.contains(&v.as_str()) {
+                    return Err(format!(
+                        "unknown --require-improvement counter `{v}`; one of: {}",
+                        COUNTERS.join(", ")
+                    ));
+                }
+                options.require_improvement.push(v.clone());
+            }
+            "--require-no-regression" => {
+                let v = iter
+                    .next()
+                    .ok_or("missing value after --require-no-regression")?;
+                if !COUNTERS.contains(&v.as_str()) {
+                    return Err(format!(
+                        "unknown --require-no-regression counter `{v}`; one of: {}",
+                        COUNTERS.join(", ")
+                    ));
+                }
+                options.require_no_regression.push(v.clone());
+            }
+            "--totals" => options.totals = true,
+            "--exact" => options.exact = true,
             "--format" => {
                 let v = iter.next().ok_or("missing value after --format")?;
                 table = match v.as_str() {
@@ -309,7 +476,7 @@ fn run(args: &[String]) -> Result<(Vec<Problem>, Option<String>), String> {
     let baseline =
         JsonValue::parse(&read(baseline_path)?).map_err(|e| format!("{baseline_path}: {e}"))?;
     let new = JsonValue::parse(&read(new_path)?).map_err(|e| format!("{new_path}: {e}"))?;
-    let problems = diff_reports(&baseline, &new, threshold)?;
+    let problems = diff_reports(&baseline, &new, &options)?;
     let rendered_table = if table {
         Some(render_table(&comparison_rows(&baseline, &new)?))
     } else {
@@ -350,6 +517,14 @@ mod tests {
 
     type RecordSpec<'a> = (&'a str, &'a str, &'a str, &'a [(&'a str, f64)]);
 
+    /// Plain threshold-only options, the shape of most tests.
+    fn opts(threshold: f64) -> DiffOptions {
+        DiffOptions {
+            threshold,
+            ..DiffOptions::default()
+        }
+    }
+
     fn report(records: &[RecordSpec]) -> JsonValue {
         JsonValue::Object(vec![(
             "records".to_string(),
@@ -375,16 +550,16 @@ mod tests {
     #[test]
     fn identical_reports_are_clean() {
         let r = report(&[("mrtpl", "t1", "ok", &[("conflicts", 3.0), ("cost", 100.0)])]);
-        assert_eq!(diff_reports(&r, &r, 0.25).unwrap(), vec![]);
+        assert_eq!(diff_reports(&r, &r, &opts(0.25)).unwrap(), vec![]);
     }
 
     #[test]
     fn small_drift_passes_large_drift_fails() {
         let old = report(&[("mrtpl", "t1", "ok", &[("search_nodes", 1000.0)])]);
         let ok = report(&[("mrtpl", "t1", "ok", &[("search_nodes", 1200.0)])]);
-        assert_eq!(diff_reports(&old, &ok, 0.25).unwrap(), vec![]);
+        assert_eq!(diff_reports(&old, &ok, &opts(0.25)).unwrap(), vec![]);
         let bad = report(&[("mrtpl", "t1", "ok", &[("search_nodes", 1300.0)])]);
-        let problems = diff_reports(&old, &bad, 0.25).unwrap();
+        let problems = diff_reports(&old, &bad, &opts(0.25)).unwrap();
         assert_eq!(problems.len(), 1);
         assert!(problems[0].is_fatal());
         assert!(problems[0].render().contains("search_nodes 1000 -> 1300"));
@@ -394,14 +569,14 @@ mod tests {
     fn improvements_never_fail() {
         let old = report(&[("mrtpl", "t1", "ok", &[("cost", 100.0), ("vias", 50.0)])]);
         let new = report(&[("mrtpl", "t1", "ok", &[("cost", 10.0), ("vias", 5.0)])]);
-        assert_eq!(diff_reports(&old, &new, 0.25).unwrap(), vec![]);
+        assert_eq!(diff_reports(&old, &new, &opts(0.25)).unwrap(), vec![]);
     }
 
     #[test]
     fn zero_to_positive_warns_without_failing() {
         let old = report(&[("mrtpl", "t1", "ok", &[("conflicts", 0.0)])]);
         let new = report(&[("mrtpl", "t1", "ok", &[("conflicts", 2.0)])]);
-        let problems = diff_reports(&old, &new, 0.25).unwrap();
+        let problems = diff_reports(&old, &new, &opts(0.25)).unwrap();
         assert_eq!(problems.len(), 1);
         assert!(!problems[0].is_fatal());
         assert!(problems[0].render().starts_with("warning"));
@@ -415,7 +590,7 @@ mod tests {
             ("dac12", "t1", "ok", &[]),
         ]);
         let new = report(&[("mrtpl", "t1", "ok", &[]), ("mrtpl", "t2", "failed", &[])]);
-        let problems = diff_reports(&old, &new, 0.25).unwrap();
+        let problems = diff_reports(&old, &new, &opts(0.25)).unwrap();
         assert_eq!(problems.len(), 2);
         assert!(problems.iter().all(Problem::is_fatal));
         assert!(problems[0].render().contains("FAILED mrtpl/t2"));
@@ -426,7 +601,7 @@ mod tests {
     fn counters_absent_on_either_side_are_skipped() {
         let old = report(&[("mrtpl", "t1", "ok", &[("conflicts", 1.0)])]);
         let new = report(&[("mrtpl", "t1", "ok", &[("wirelength", 9999.0)])]);
-        assert_eq!(diff_reports(&old, &new, 0.25).unwrap(), vec![]);
+        assert_eq!(diff_reports(&old, &new, &opts(0.25)).unwrap(), vec![]);
     }
 
     /// Externally-ingested cases report `rrr_iterations: null` (their flow
@@ -452,12 +627,21 @@ mod tests {
         // while a real counter alongside still fails.
         let old_null = with_null(&[("conflicts", 1.0)]);
         let new_null = with_null(&[("conflicts", 1.0)]);
-        assert_eq!(diff_reports(&old_null, &new_null, 0.25).unwrap(), vec![]);
+        assert_eq!(
+            diff_reports(&old_null, &new_null, &opts(0.25)).unwrap(),
+            vec![]
+        );
         let plain = report(&[("mrtpl", "ingested", "ok", &[("conflicts", 1.0)])]);
-        assert_eq!(diff_reports(&old_null, &plain, 0.25).unwrap(), vec![]);
-        assert_eq!(diff_reports(&plain, &new_null, 0.25).unwrap(), vec![]);
+        assert_eq!(
+            diff_reports(&old_null, &plain, &opts(0.25)).unwrap(),
+            vec![]
+        );
+        assert_eq!(
+            diff_reports(&plain, &new_null, &opts(0.25)).unwrap(),
+            vec![]
+        );
         let worse = with_null(&[("conflicts", 9.0)]);
-        let problems = diff_reports(&old_null, &worse, 0.25).unwrap();
+        let problems = diff_reports(&old_null, &worse, &opts(0.25)).unwrap();
         assert_eq!(problems.len(), 1);
         assert!(problems[0].render().contains("conflicts 1 -> 9"));
     }
@@ -494,7 +678,7 @@ mod tests {
         let old = traced_report(&[], &[("core.search_nodes", 1000.0)]);
         for (new_value, drifts) in [(1200.0, false), (1300.0, true), (700.0, true)] {
             let new = traced_report(&[], &[("core.search_nodes", new_value)]);
-            let problems = diff_reports(&old, &new, 0.25).unwrap();
+            let problems = diff_reports(&old, &new, &opts(0.25)).unwrap();
             assert_eq!(problems.len(), usize::from(drifts), "value {new_value}");
             if drifts {
                 assert!(!problems[0].is_fatal());
@@ -503,7 +687,7 @@ mod tests {
         }
         // Phases on one side only: nothing to compare, nothing reported.
         let untraced = report(&[("mrtpl", "t1", "ok", &[])]);
-        assert_eq!(diff_reports(&old, &untraced, 0.25).unwrap(), vec![]);
+        assert_eq!(diff_reports(&old, &untraced, &opts(0.25)).unwrap(), vec![]);
     }
 
     #[test]
@@ -524,6 +708,189 @@ mod tests {
         // Columns align: every "old -> new" cell starts at the same offset.
         let offset = lines[0].find("old -> new").unwrap();
         assert_eq!(lines[1].find("4 -> 2"), Some(offset));
+    }
+
+    #[test]
+    fn require_improvement_needs_a_strictly_smaller_total() {
+        let old = report(&[
+            ("mrtpl", "t1", "ok", &[("search_nodes", 1000.0)]),
+            ("mrtpl", "t2", "ok", &[("search_nodes", 2000.0)]),
+        ]);
+        let options = DiffOptions {
+            threshold: 0.25,
+            require_improvement: vec!["search_nodes".to_string()],
+            ..DiffOptions::default()
+        };
+        // Strictly smaller total (even with one record up): passes.
+        let better = report(&[
+            ("mrtpl", "t1", "ok", &[("search_nodes", 1100.0)]),
+            ("mrtpl", "t2", "ok", &[("search_nodes", 800.0)]),
+        ]);
+        assert_eq!(diff_reports(&old, &better, &options).unwrap(), vec![]);
+        // Identical total: fails (the improvement must be strict).
+        let problems = diff_reports(&old, &old, &options).unwrap();
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].is_fatal());
+        assert!(problems[0]
+            .render()
+            .contains("NOT IMPROVED: total search_nodes 3000 -> 3000"));
+        // Larger total: fails alongside the per-record regression check.
+        let worse = report(&[
+            ("mrtpl", "t1", "ok", &[("search_nodes", 1000.0)]),
+            ("mrtpl", "t2", "ok", &[("search_nodes", 2001.0)]),
+        ]);
+        let problems = diff_reports(&old, &worse, &options).unwrap();
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].render().contains("NOT IMPROVED"));
+    }
+
+    #[test]
+    fn require_no_regression_allows_equal_totals_but_not_growth() {
+        let old = report(&[
+            ("mrtpl", "t1", "ok", &[("conflicts", 10.0)]),
+            ("mrtpl", "t2", "ok", &[("conflicts", 20.0)]),
+        ]);
+        let options = DiffOptions {
+            threshold: 0.25,
+            require_no_regression: vec!["conflicts".to_string()],
+            ..DiffOptions::default()
+        };
+        // Identical total: passes (unlike --require-improvement).
+        assert_eq!(diff_reports(&old, &old, &options).unwrap(), vec![]);
+        // Cases trading against each other with equal total: passes.
+        let traded = report(&[
+            ("mrtpl", "t1", "ok", &[("conflicts", 12.0)]),
+            ("mrtpl", "t2", "ok", &[("conflicts", 18.0)]),
+        ]);
+        assert_eq!(diff_reports(&old, &traded, &options).unwrap(), vec![]);
+        // Any growth of the total: fails.
+        let worse = report(&[
+            ("mrtpl", "t1", "ok", &[("conflicts", 10.0)]),
+            ("mrtpl", "t2", "ok", &[("conflicts", 21.0)]),
+        ]);
+        let problems = diff_reports(&old, &worse, &options).unwrap();
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].is_fatal());
+        assert!(problems[0]
+            .render()
+            .contains("REGRESSED: total conflicts 30 -> 31"));
+        // An unseen counter fails rather than passing silently.
+        let unseen = DiffOptions {
+            require_no_regression: vec!["vias".to_string()],
+            ..options
+        };
+        let problems = diff_reports(&old, &old, &unseen).unwrap();
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].render().contains("REGRESSED: total vias"));
+    }
+
+    #[test]
+    fn totals_mode_compares_per_method_sums_not_cases() {
+        // t1 doubles (a per-case regression) while t2 shrinks: per-case
+        // mode fails, totals mode passes because the sum improved.
+        let old = report(&[
+            ("mrtpl", "t1", "ok", &[("conflicts", 10.0)]),
+            ("mrtpl", "t2", "ok", &[("conflicts", 100.0)]),
+        ]);
+        let new = report(&[
+            ("mrtpl", "t1", "ok", &[("conflicts", 20.0)]),
+            ("mrtpl", "t2", "ok", &[("conflicts", 50.0)]),
+        ]);
+        assert_eq!(diff_reports(&old, &new, &opts(0.25)).unwrap().len(), 1);
+        let totals = DiffOptions {
+            threshold: 0.25,
+            totals: true,
+            ..DiffOptions::default()
+        };
+        assert_eq!(diff_reports(&old, &new, &totals).unwrap(), vec![]);
+        // A regression of the method total past the threshold still fails,
+        // keyed as `method/total`.
+        let worse = report(&[
+            ("mrtpl", "t1", "ok", &[("conflicts", 40.0)]),
+            ("mrtpl", "t2", "ok", &[("conflicts", 100.0)]),
+        ]);
+        let problems = diff_reports(&old, &worse, &totals).unwrap();
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0]
+            .render()
+            .contains("REGRESSION mrtpl/total: conflicts 110 -> 140"));
+        // Methods are aggregated separately: a different method's totals do
+        // not absorb this one's regression.
+        let two_methods_old = report(&[
+            ("mrtpl", "t1", "ok", &[("conflicts", 10.0)]),
+            ("dac12", "t1", "ok", &[("conflicts", 100.0)]),
+        ]);
+        let two_methods_new = report(&[
+            ("mrtpl", "t1", "ok", &[("conflicts", 20.0)]),
+            ("dac12", "t1", "ok", &[("conflicts", 10.0)]),
+        ]);
+        let problems = diff_reports(&two_methods_old, &two_methods_new, &totals).unwrap();
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].render().contains("REGRESSION mrtpl/total"));
+    }
+
+    #[test]
+    fn require_improvement_of_an_unseen_counter_fails() {
+        let old = report(&[("mrtpl", "t1", "ok", &[("conflicts", 1.0)])]);
+        let options = DiffOptions {
+            threshold: 0.25,
+            require_improvement: vec!["search_nodes".to_string()],
+            ..DiffOptions::default()
+        };
+        let problems = diff_reports(&old, &old, &options).unwrap();
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].render().contains("NOT IMPROVED"));
+    }
+
+    #[test]
+    fn ignored_counters_never_regress() {
+        let old = report(&[("mrtpl", "t1", "ok", &[("search_nodes", 100.0)])]);
+        let worse = report(&[("mrtpl", "t1", "ok", &[("search_nodes", 900.0)])]);
+        assert_eq!(diff_reports(&old, &worse, &opts(0.25)).unwrap().len(), 1);
+        let options = DiffOptions {
+            threshold: 0.25,
+            ignore: vec!["search_nodes".to_string()],
+            ..DiffOptions::default()
+        };
+        assert_eq!(diff_reports(&old, &worse, &options).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn exact_mode_flags_any_drift_even_improvements() {
+        let old = report(&[("mrtpl", "t1", "ok", &[("cost", 100.0), ("vias", 50.0)])]);
+        let options = DiffOptions {
+            threshold: 0.25,
+            exact: true,
+            ..DiffOptions::default()
+        };
+        assert_eq!(diff_reports(&old, &old, &options).unwrap(), vec![]);
+        // An improvement would pass the threshold check but fails --exact.
+        let improved = report(&[("mrtpl", "t1", "ok", &[("cost", 90.0), ("vias", 50.0)])]);
+        let problems = diff_reports(&old, &improved, &options).unwrap();
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].is_fatal());
+        assert!(problems[0]
+            .render()
+            .contains("DRIFT mrtpl/t1: cost 100 -> 90"));
+        // --ignore still applies under --exact.
+        let ignoring = DiffOptions {
+            ignore: vec!["cost".to_string()],
+            ..options
+        };
+        assert_eq!(diff_reports(&old, &improved, &ignoring).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn run_rejects_an_unknown_improvement_counter() {
+        let err = run(&[
+            "a.json".to_string(),
+            "b.json".to_string(),
+            "--require-improvement".to_string(),
+            "runtime_seconds".to_string(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("unknown --require-improvement"));
+        assert!(err.contains("search_nodes"));
     }
 
     #[test]
