@@ -48,6 +48,15 @@ pub struct BenchArgs {
     pub a_star: bool,
     /// Bucket priority queue in the search kernels (`--bucket-queue on|off`).
     pub bucket_queue: bool,
+    /// Search-node budget per attempt (`--budget`); deterministic, so it
+    /// composes with `--deterministic` byte-comparisons.
+    pub budget: Option<u64>,
+    /// Wall-clock deadline per attempt in seconds (`--deadline`); inherently
+    /// machine-dependent, so not for byte-compared runs.
+    pub deadline: Option<f64>,
+    /// Seed of a deterministic fault-injection plan (`--fault-plan`); faults
+    /// fire at fixed `tpl-fault` sites as a pure function of the seed.
+    pub fault_plan: Option<u64>,
     /// Print the method registry and exit.
     pub list_methods: bool,
     /// Print usage and exit.
@@ -71,6 +80,9 @@ impl Default for BenchArgs {
             trace: None,
             a_star: true,
             bucket_queue: true,
+            budget: None,
+            deadline: None,
+            fault_plan: None,
             list_methods: false,
             help: false,
         }
@@ -110,6 +122,16 @@ OPTIONS:
                             equal-cost ties in the mrtpl colour search
   --bucket-queue <on|off>   bucket priority queue in the search kernels
                             (default: on); never changes any result
+  --budget <NODES>          search-node budget per attempt; budget-stopped
+                            runs return best-so-far partial results marked
+                            degraded/aborted and retry down the degradation
+                            ladder; deterministic across --jobs/--net-jobs
+  --deadline <SECS>         wall-clock deadline per attempt (machine-
+                            dependent; not for byte-compared runs)
+  --fault-plan <SEED>       install a deterministic fault-injection plan:
+                            panics/delays/budget trips fire at fixed sites
+                            as a pure function of the seed (robustness
+                            testing; the scheduler must always survive)
   --list-methods            print the method registry and exit
   --help                    print this help
 
@@ -133,6 +155,27 @@ pub fn parse_jobs_value(v: &str) -> Result<usize, String> {
         .ok()
         .filter(|j| *j >= 1)
         .ok_or_else(|| format!("invalid --jobs value `{v}`"))
+}
+
+/// Parses a `--budget` value: a non-negative integer node count (0 is legal
+/// and means "degrade everything immediately").
+pub fn parse_budget_value(v: &str) -> Result<u64, String> {
+    v.parse::<u64>()
+        .map_err(|_| format!("invalid --budget value `{v}`"))
+}
+
+/// Parses a `--deadline` value: a strictly positive, finite seconds count.
+pub fn parse_deadline_value(v: &str) -> Result<f64, String> {
+    v.parse::<f64>()
+        .ok()
+        .filter(|s| s.is_finite() && *s > 0.0)
+        .ok_or_else(|| format!("invalid --deadline value `{v}`"))
+}
+
+/// Parses a `--fault-plan` seed: any u64.
+pub fn parse_seed_value(v: &str) -> Result<u64, String> {
+    v.parse::<u64>()
+        .map_err(|_| format!("invalid --fault-plan seed `{v}`"))
 }
 
 /// Parses an `on|off` knob value (used by `--a-star` and `--bucket-queue`).
@@ -175,6 +218,9 @@ pub fn parse_bench_args(args: impl Iterator<Item = String>) -> Result<BenchArgs,
                     _ => return Err(format!("unknown format `{v}` (text or json)")),
                 };
             }
+            "--budget" => parsed.budget = Some(parse_budget_value(&take("--budget")?)?),
+            "--deadline" => parsed.deadline = Some(parse_deadline_value(&take("--deadline")?)?),
+            "--fault-plan" => parsed.fault_plan = Some(parse_seed_value(&take("--fault-plan")?)?),
             "--a-star" => parsed.a_star = parse_on_off("--a-star", &take("--a-star")?)?,
             "--bucket-queue" => {
                 parsed.bucket_queue = parse_on_off("--bucket-queue", &take("--bucket-queue")?)?
@@ -277,6 +323,13 @@ pub fn execute(args: &BenchArgs) -> Result<RunReport, String> {
     if args.trace.is_some() {
         tpl_trace::enable();
     }
+    match args.fault_plan {
+        // Install (or replace) the process-wide plan so every fault site
+        // keys off this run's seed; without the flag, clear any leftover
+        // plan so fault points stay zero-cost.
+        Some(seed) => tpl_fault::install(seed),
+        None => tpl_fault::clear(),
+    }
     let options = RunOptions {
         jobs: args.jobs,
         net_jobs: args.net_jobs,
@@ -284,6 +337,8 @@ pub fn execute(args: &BenchArgs) -> Result<RunReport, String> {
         trace: args.trace.is_some(),
         a_star: args.a_star,
         bucket_queue: args.bucket_queue,
+        max_search_nodes: args.budget,
+        deadline_seconds: args.deadline,
     };
     let records = run_matrix(&methods, &cases, &options);
     Ok(RunReport {
@@ -480,6 +535,38 @@ mod tests {
         let args = parse(&["--bucket-queue", "off", "--a-star", "on"]).unwrap();
         assert!(args.a_star);
         assert!(!args.bucket_queue);
+    }
+
+    #[test]
+    fn robustness_flags_parse_and_default_off() {
+        let args = parse(&[]).unwrap();
+        assert_eq!(args.budget, None);
+        assert_eq!(args.deadline, None);
+        assert_eq!(args.fault_plan, None);
+        let args = parse(&[
+            "--budget",
+            "50000",
+            "--deadline",
+            "2.5",
+            "--fault-plan",
+            "42",
+        ])
+        .unwrap();
+        assert_eq!(args.budget, Some(50_000));
+        assert_eq!(args.deadline, Some(2.5));
+        assert_eq!(args.fault_plan, Some(42));
+        // Zero budget is legal: everything degrades immediately.
+        assert_eq!(parse(&["--budget", "0"]).unwrap().budget, Some(0));
+        assert!(parse(&["--budget", "-1"]).unwrap_err().contains("budget"));
+        assert!(parse(&["--deadline", "0"])
+            .unwrap_err()
+            .contains("deadline"));
+        assert!(parse(&["--deadline", "inf"])
+            .unwrap_err()
+            .contains("deadline"));
+        assert!(parse(&["--fault-plan", "x"])
+            .unwrap_err()
+            .contains("fault-plan"));
     }
 
     #[test]

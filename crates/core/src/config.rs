@@ -1,6 +1,6 @@
 //! Configuration and statistics of the Mr.TPL router.
 
-use tpl_grid::{CostParams, SearchConfig};
+use tpl_grid::{CostParams, Outcome, SearchConfig};
 use tpl_par::Parallelism;
 
 /// How the searcher treats colour candidates during expansion.
@@ -91,6 +91,10 @@ pub struct MrTplStats {
     /// pass, then one entry per rip-up-and-reroute iteration).  Used by the
     /// convergence ablation.
     pub conflict_history: Vec<usize>,
+    /// How the run ended: `Complete` without a budget, `Degraded` after a
+    /// search-node budget trip (best-so-far partial solution), `Aborted` on
+    /// deadline or cancellation.
+    pub outcome: Outcome,
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@ use crate::{
 use std::time::Instant;
 use tpl_color::{ColorMap, ColorSetArena, ColorState, ColoredLayout, Feature, Mask};
 use tpl_design::{Design, NetId, PinId, RouteGuides, RoutingSolution};
-use tpl_grid::{GridGraph, GridState, PinCoverage, VertexId};
+use tpl_grid::{GridGraph, GridState, Outcome, PinCoverage, RouteBudget, StopReason, VertexId};
 use tpl_par::{par_map_pooled, plan_batches, Region, ScratchPool};
 
 /// The result of a Mr.TPL routing run.
@@ -51,7 +51,36 @@ impl MrTplRouter {
     /// function of the frozen state, the outcome is identical for every
     /// worker count; `jobs = 1` runs the same batched algorithm inline.
     pub fn route(&self, design: &Design, guides: &RouteGuides) -> MrTplResult {
+        self.route_with_budget(design, guides, &RouteBudget::default())
+    }
+
+    /// Like [`route`](MrTplRouter::route), under a [`RouteBudget`].
+    ///
+    /// Budget accounting is deterministic: committed search nodes are
+    /// charged at batch barriers only, and every net of a batch runs under
+    /// the same remaining-node snapshot, so where the budget trips is a
+    /// pure function of the input — independent of worker count.  On
+    /// exhaustion the router stops after the current batch and returns its
+    /// best-so-far partial solution with `stats.outcome` set to
+    /// [`Outcome::Degraded`]; a passed deadline or a cancelled token aborts
+    /// the same way with [`Outcome::Aborted`].  Unrouted nets are counted
+    /// in `stats.failed_nets` and simply absent from the solution — the
+    /// returned structures are always internally consistent.
+    pub fn route_with_budget(
+        &self,
+        design: &Design,
+        guides: &RouteGuides,
+        budget: &RouteBudget,
+    ) -> MrTplResult {
         let _route_span = tpl_trace::span!("core.route", nets = design.nets().len());
+        tpl_fault::point!("core.route");
+        let mut budget = budget.clone();
+        if tpl_fault::trips_budget("core.budget") {
+            // Injected budget exhaustion: behave exactly like a zero-node
+            // budget and exercise the degraded path.
+            budget.max_search_nodes = Some(0);
+        }
+        let budget = &budget;
         let start = Instant::now();
         let grid = GridGraph::build(design);
         let coverage = PinCoverage::build(&grid, design);
@@ -87,9 +116,11 @@ impl MrTplRouter {
         // after detouring a couple of tracks.
         let margin = design.tech().dcolor() + 2 * grid.pitch();
 
+        let mut run_outcome = Outcome::Complete;
         let mut to_route: Vec<NetId> = order.clone();
-        for iteration in 0..=self.config.max_rrr_iterations {
+        'rrr: for iteration in 0..=self.config.max_rrr_iterations {
             let _iter_span = tpl_trace::span!("core.rrr_iteration", iteration = iteration);
+            tpl_fault::point!("core.rrr_iteration", iteration);
             stats.rrr_iterations = iteration;
             stats.failed_nets = 0;
 
@@ -117,7 +148,28 @@ impl MrTplRouter {
                 })
                 .collect();
 
-            for batch in plan_batches(&regions) {
+            let batches = plan_batches(&regions);
+            for (batch_index, batch) in batches.iter().enumerate() {
+                // Budget accounting happens at this barrier only: every net
+                // of the batch runs under the same remaining-node snapshot,
+                // so the trip point is independent of worker count.
+                let remaining = budget.remaining_nodes(stats.search_nodes as u64);
+                let barrier_stop = if remaining == 0 {
+                    Some(StopReason::SearchNodes)
+                } else {
+                    budget.interrupted()
+                };
+                if let Some(reason) = barrier_stop {
+                    run_outcome = run_outcome.merge(Outcome::from_stop(reason));
+                    // The unprocessed batches were ripped up at iteration
+                    // start and stay unrouted; count them so the partial
+                    // result is honest about what is missing.
+                    stats.failed_nets += batches[batch_index..]
+                        .iter()
+                        .map(|b| b.len())
+                        .sum::<usize>();
+                    break 'rrr;
+                }
                 let nets: Vec<NetId> = batch.iter().map(|&i| to_route[i]).collect();
                 tpl_trace::value!("core.batch_size", nets.len());
                 let routed = par_map_pooled(
@@ -134,6 +186,7 @@ impl MrTplRouter {
                         // Goal direction only during negotiation: see
                         // `NetBuffers::set_goal_directed`.
                         buffers.set_goal_directed(self.config.search.a_star && iteration > 0);
+                        buffers.arm_budget(remaining, budget);
                         let out = self.route_net(
                             design, &grid, &coverage, &gstate, buffers, cache, &map, guides, net_id,
                         );
@@ -142,6 +195,7 @@ impl MrTplRouter {
                             buffers.frontier_pruned(),
                             buffers.frontier_peak(),
                             buffers.overflow_pushes(),
+                            buffers.stop_reason(),
                         );
                         (out, effort)
                     },
@@ -150,11 +204,16 @@ impl MrTplRouter {
 
                 // Barrier: commit occupancy, colour map and solution in net
                 // order, identically for every worker count.
-                for (net_id, ((colored, vertices, complete), (nodes, pruned, peak, overflow))) in
-                    nets.iter().copied().zip(routed)
+                for (
+                    net_id,
+                    ((colored, vertices, complete), (nodes, pruned, peak, overflow, stop)),
+                ) in nets.iter().copied().zip(routed)
                 {
                     if !complete {
                         stats.failed_nets += 1;
+                    }
+                    if let Some(reason) = stop {
+                        run_outcome = run_outcome.merge(Outcome::from_stop(reason));
                     }
                     stats.search_nodes += nodes;
                     tpl_trace::counter!("core.search_nodes", nodes);
@@ -261,6 +320,7 @@ impl MrTplRouter {
         stats.stitches = layout_stats.stitches;
         stats.seg_sets = total_seg_sets;
         stats.runtime_seconds = start.elapsed().as_secs_f64();
+        stats.outcome = run_outcome;
 
         MrTplResult {
             solution,
@@ -301,6 +361,7 @@ impl MrTplRouter {
         net_id: NetId,
     ) -> (ColoredNet, Vec<VertexId>, bool) {
         let _net_span = tpl_trace::span!("core.route_net", net = net_id.index());
+        tpl_fault::point!("core.route_net", net_id.index());
         let net = design.net(net_id);
         let in_guide = SearchContext::guide_membership(grid, guides, net_id);
         let ctx = SearchContext {
@@ -460,6 +521,63 @@ mod tests {
             assert_eq!(par.stats.search_nodes, base.stats.search_nodes);
             assert_eq!(par.segment_masks, base.segment_masks);
         }
+    }
+
+    #[test]
+    fn budgeted_run_degrades_deterministically_across_worker_counts() {
+        let design = CaseParams::ispd18_like(1).scaled(0.3).generate();
+        let guides = GlobalRouter::new(GlobalConfig::default()).route(&design);
+        // The 0.3-scale case needs ~1.5k search nodes in total; a 300-node
+        // budget reliably trips mid-run.
+        let budget = RouteBudget::with_max_search_nodes(300);
+        let base =
+            MrTplRouter::new(MrTplConfig::default()).route_with_budget(&design, &guides, &budget);
+        assert_eq!(
+            base.stats.outcome,
+            Outcome::Degraded(StopReason::SearchNodes)
+        );
+        assert!(base.stats.failed_nets > 0, "some nets must be left behind");
+        for jobs in [2, 4] {
+            let par = MrTplRouter::new(MrTplConfig {
+                parallelism: tpl_par::Parallelism::new(jobs),
+                ..MrTplConfig::default()
+            })
+            .route_with_budget(&design, &guides, &budget);
+            assert_eq!(par.stats.outcome, base.stats.outcome);
+            assert_eq!(par.stats.search_nodes, base.stats.search_nodes);
+            assert_eq!(par.stats.failed_nets, base.stats.failed_nets);
+            assert_eq!(
+                par.solution.total_wirelength(),
+                base.solution.total_wirelength()
+            );
+            assert_eq!(par.segment_masks, base.segment_masks);
+        }
+    }
+
+    #[test]
+    fn cancelled_token_aborts_before_routing_anything() {
+        let design = CaseParams::ispd18_like(1).scaled(0.25).generate();
+        let guides = GlobalRouter::new(GlobalConfig::default()).route(&design);
+        let token = tpl_grid::CancelToken::new();
+        token.cancel();
+        let budget = RouteBudget {
+            cancel: Some(token),
+            ..RouteBudget::default()
+        };
+        let result =
+            MrTplRouter::new(MrTplConfig::default()).route_with_budget(&design, &guides, &budget);
+        assert_eq!(
+            result.stats.outcome,
+            Outcome::Aborted(StopReason::Cancelled)
+        );
+        assert_eq!(result.solution.routed_count(), 0);
+        assert_eq!(result.stats.failed_nets, design.nets().len());
+    }
+
+    #[test]
+    fn unbudgeted_run_reports_complete() {
+        let (_, result) = route_case(0.25);
+        assert!(result.stats.outcome.is_complete());
     }
 
     #[test]

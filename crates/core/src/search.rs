@@ -24,12 +24,18 @@
 //! reuses the already-queued entry instead of pushing a duplicate.
 
 use crate::{ColorCostCache, MrTplConfig, SearchPolicy};
+use std::time::Instant;
 use tpl_color::{ColorMap, ColorState, Mask};
 use tpl_design::{Design, NetId, PinId, RouteGuides};
 use tpl_geom::Dir;
 use tpl_grid::{
-    DenseBitSet, EpochStamps, Frontier, GridGraph, GridState, PinCoverage, SearchConfig, VertexId,
+    CancelToken, DenseBitSet, EpochStamps, Frontier, GridGraph, GridState, PinCoverage,
+    RouteBudget, SearchConfig, StopReason, VertexId,
 };
+
+/// How many pops pass between wall-clock/cancellation probes (a power of
+/// two; node-count budgeting stays exact and per-pop).
+const INTERRUPT_PROBE_MASK: usize = 0x0FFF;
 
 /// Per-vertex search bookkeeping with three levels of epoch invalidation:
 /// per-search (distance, predecessor, colour state, queued key, target
@@ -59,6 +65,18 @@ pub struct NetBuffers {
     frontier_pruned: usize,
     frontier_peak: usize,
     overflow_pushes: u64,
+    /// Pops the current net may still spend (`u64::MAX` = unbudgeted).  The
+    /// router arms this per net from the batch's budget snapshot, so the
+    /// value — and therefore where a search stops — is a pure function of
+    /// the committed state, independent of worker count.
+    node_limit: u64,
+    /// Wall-clock cut-off, probed every [`INTERRUPT_PROBE_MASK`]+1 pops.
+    deadline: Option<Instant>,
+    /// Cooperative cancellation, probed alongside the deadline.
+    cancel: Option<CancelToken>,
+    /// Set when a search of the current net stopped on a budget limit;
+    /// further searches of the net return `None` immediately.
+    stop: Option<StopReason>,
 }
 
 impl NetBuffers {
@@ -87,6 +105,10 @@ impl NetBuffers {
             frontier_pruned: 0,
             frontier_peak: 0,
             overflow_pushes: 0,
+            node_limit: u64::MAX,
+            deadline: None,
+            cancel: None,
+            stop: None,
         }
     }
 
@@ -104,6 +126,38 @@ impl NetBuffers {
         self.frontier_pruned = 0;
         self.frontier_peak = 0;
         self.overflow_pushes = 0;
+        self.stop = None;
+    }
+
+    /// Arms the cooperative budget for the next net: `remaining` caps this
+    /// net's frontier pops (the batch-barrier snapshot of the run budget),
+    /// and the budget's deadline/cancellation are probed at expansion
+    /// granularity.  Buffers start unbudgeted (`u64::MAX`, no probes).
+    pub fn arm_budget(&mut self, remaining: u64, budget: &RouteBudget) {
+        self.node_limit = remaining;
+        self.deadline = budget.deadline;
+        self.cancel = budget.cancel.clone();
+        self.stop = None;
+    }
+
+    /// Why searches of the current net stopped early, if they did.  A
+    /// `None` result from [`search`] with a stop reason set means "budget
+    /// exhausted", not "no path exists".
+    #[inline]
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        self.stop
+    }
+
+    /// The deadline/cancellation probe, run every few thousand pops.
+    #[inline]
+    fn interrupted(&self) -> Option<StopReason> {
+        if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            return Some(StopReason::Cancelled);
+        }
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Some(StopReason::Deadline);
+        }
+        None
     }
 
     /// Frontier pops performed by [`search`] since the last
@@ -448,6 +502,11 @@ pub fn search(
     sources: &[(VertexId, ColorState)],
     unreached: &[PinId],
 ) -> Option<(VertexId, PinId)> {
+    if buffers.stop.is_some() {
+        // The net already hit its budget in an earlier pin-to-tree search;
+        // don't start another one.
+        return None;
+    }
     buffers.begin_search();
     // O(targets) goal marking: a vertex is a goal exactly when the seed's
     // linear test (`pin_at(v)` unreached) would have said so.
@@ -480,6 +539,16 @@ pub fn search(
 
     let mut result = None;
     while let Some((k, raw)) = frontier.pop() {
+        if buffers.nodes_popped as u64 >= buffers.node_limit {
+            buffers.stop = Some(StopReason::SearchNodes);
+            break;
+        }
+        if buffers.nodes_popped & INTERRUPT_PROBE_MASK == 0 {
+            if let Some(reason) = buffers.interrupted() {
+                buffers.stop = Some(reason);
+                break;
+            }
+        }
         buffers.nodes_popped += 1;
         let v = VertexId::new(raw);
         if k != buffers.queued_key[v.index()] || !buffers.search.is_fresh(v.index()) {
@@ -667,6 +736,58 @@ mod tests {
             popped[1] < popped[0],
             "goal direction must reduce pops: {popped:?}"
         );
+    }
+
+    #[test]
+    fn node_budget_stops_the_search_with_a_reason() {
+        let f = fixture();
+        let in_guide = DenseBitSet::full(f.grid.num_vertices());
+        let c = ctx(&f, &in_guide);
+        let mut buffers = NetBuffers::new(f.grid.num_vertices());
+        let mut cache = ColorCostCache::new(&f.grid);
+        buffers.begin_net();
+        cache.begin_net();
+        let sources = all_sources(&f);
+        buffers.arm_budget(10, &RouteBudget::with_max_search_nodes(10));
+        let got = search(&c, &mut buffers, &mut cache, &sources, &[PinId::new(1)]);
+        assert_eq!(got, None, "ten pops cannot cross the die");
+        assert_eq!(buffers.stop_reason(), Some(StopReason::SearchNodes));
+        assert!(buffers.nodes_popped() <= 10);
+        // Once stopped, further searches of the net refuse to start.
+        assert_eq!(
+            search(&c, &mut buffers, &mut cache, &sources, &[PinId::new(1)]),
+            None
+        );
+        // Re-arming unbudgeted finds the pin again.
+        buffers.begin_net();
+        cache.begin_net();
+        buffers.arm_budget(u64::MAX, &RouteBudget::default());
+        assert!(search(&c, &mut buffers, &mut cache, &sources, &[PinId::new(1)]).is_some());
+        assert_eq!(buffers.stop_reason(), None);
+    }
+
+    #[test]
+    fn cancellation_aborts_the_search() {
+        let f = fixture();
+        let in_guide = DenseBitSet::full(f.grid.num_vertices());
+        let c = ctx(&f, &in_guide);
+        let mut buffers = NetBuffers::new(f.grid.num_vertices());
+        let mut cache = ColorCostCache::new(&f.grid);
+        buffers.begin_net();
+        cache.begin_net();
+        let token = CancelToken::new();
+        token.cancel();
+        let budget = RouteBudget {
+            cancel: Some(token),
+            ..RouteBudget::default()
+        };
+        buffers.arm_budget(u64::MAX, &budget);
+        let sources = all_sources(&f);
+        assert_eq!(
+            search(&c, &mut buffers, &mut cache, &sources, &[PinId::new(1)]),
+            None
+        );
+        assert_eq!(buffers.stop_reason(), Some(StopReason::Cancelled));
     }
 
     #[test]

@@ -4,8 +4,11 @@ use crate::GCellGrid;
 use std::cmp::Reverse;
 use tpl_design::{Design, LayerId, NetId, RouteGuides};
 use tpl_geom::Point;
-use tpl_grid::{EpochStamps, Frontier, SearchConfig};
+use tpl_grid::{EpochStamps, Frontier, Outcome, RouteBudget, SearchConfig, StopReason};
 use tpl_par::{par_map_pooled, plan_batches, Parallelism, Region, ScratchPool};
+
+/// How often the maze loop probes the wall-clock/cancellation checks.
+const INTERRUPT_PROBE_MASK: usize = 0x0FFF;
 
 /// Configuration of the global router.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -75,6 +78,10 @@ pub struct GlobalStats {
     /// Total heap pops across all maze searches (search effort, independent
     /// of wall clock and worker count).
     pub search_nodes: usize,
+    /// How the run ended: `Complete` without a budget, `Degraded` after a
+    /// search-node budget trip (budget-stopped mazes fall back to L-paths),
+    /// `Aborted` on deadline or cancellation.
+    pub outcome: Outcome,
 }
 
 /// Per-net routing counters, merged into [`GlobalStats`] at batch barriers.
@@ -83,6 +90,8 @@ struct NetRouteStats {
     pattern_routed: usize,
     maze_routed: usize,
     search_nodes: usize,
+    /// Worst stop reason any of this net's maze searches hit.
+    stop: Option<StopReason>,
 }
 
 /// Reusable per-worker maze search state: epoch-stamped distances and queued
@@ -232,7 +241,36 @@ impl GlobalRouter {
     /// pure function of the frozen edge-demand map, so the result is identical
     /// for every worker count (`jobs = 1` runs the same algorithm inline).
     pub fn route_with_stats(&self, design: &Design) -> (RouteGuides, GlobalStats) {
+        self.route_with_budget(design, &RouteBudget::default())
+    }
+
+    /// Like [`route_with_stats`](GlobalRouter::route_with_stats), under a
+    /// [`RouteBudget`].
+    ///
+    /// Node accounting mirrors the detailed router: committed maze pops are
+    /// charged at batch barriers, every net of a batch searches under the
+    /// same remaining-node snapshot, and a budget-stopped maze falls back to
+    /// the cheaper L-path — so a budgeted run still produces guides covering
+    /// every pin, just less congestion-aware ones, with `stats.outcome` set
+    /// to [`Outcome::Degraded`].  A passed deadline or cancellation stops
+    /// the pass at the next barrier with [`Outcome::Aborted`]; terminal
+    /// gcells are always included in the guides, so even aborted runs emit
+    /// structurally valid (pin-covering) guides.
+    pub fn route_with_budget(
+        &self,
+        design: &Design,
+        budget: &RouteBudget,
+    ) -> (RouteGuides, GlobalStats) {
         let _route_span = tpl_trace::span!("global.route", nets = design.nets().len());
+        tpl_fault::point!("global.route");
+        let mut budget = budget.clone();
+        if tpl_fault::trips_budget("global.budget") {
+            // Injected budget exhaustion: behave exactly like a zero-node
+            // budget and exercise the degraded path.
+            budget.max_search_nodes = Some(0);
+        }
+        let budget = &budget;
+        let mut run_outcome = Outcome::Complete;
         let cfg = &self.config;
         let grid = GCellGrid::build(design, cfg.tracks_per_gcell);
         // Planar capacity: layers above M1 contribute their tracks.
@@ -278,8 +316,9 @@ impl GlobalRouter {
         // Pass 0 routes everything; negotiation rounds rip up and reroute
         // the nets crossing overflowed edges with history cost in place.
         let mut queue: Vec<NetId> = order.clone();
-        for round in 0..=cfg.negotiation_rounds {
+        'rounds: for round in 0..=cfg.negotiation_rounds {
             let _round_span = tpl_trace::span!("global.round", round = round);
+            tpl_fault::point!("global.round", round);
             if round > 0 {
                 let overflowed = edges.bump_history_on_overflow(cfg.history_increment);
                 if overflowed == 0 {
@@ -315,6 +354,22 @@ impl GlobalRouter {
                 .collect();
 
             for batch in plan_batches(&regions) {
+                // Budget accounting happens at this barrier only: every net
+                // of the batch searches under the same remaining-node
+                // snapshot, so the trip point is independent of worker count.
+                let remaining = budget.remaining_nodes(stats.search_nodes as u64);
+                let barrier_stop = if remaining == 0 {
+                    Some(StopReason::SearchNodes)
+                } else {
+                    budget.interrupted()
+                };
+                if let Some(reason) = barrier_stop {
+                    run_outcome = run_outcome.merge(Outcome::from_stop(reason));
+                    // Skipped nets keep their previous-round paths (pass 0:
+                    // none); the terminal gcells added below still give every
+                    // net a pin-covering guide.
+                    break 'rounds;
+                }
                 let nets: Vec<NetId> = batch.iter().map(|&i| queue[i]).collect();
                 tpl_trace::value!("global.batch_size", nets.len());
                 let routed = par_map_pooled(
@@ -323,7 +378,14 @@ impl GlobalRouter {
                     &pool,
                     || MazeScratch::new(grid.len(), &cfg.search),
                     |scratch, &net_id| {
-                        self.route_net(&grid, &edges, &net_terminals[net_id.index()], scratch)
+                        self.route_net(
+                            &grid,
+                            &edges,
+                            &net_terminals[net_id.index()],
+                            scratch,
+                            remaining,
+                            budget,
+                        )
                     },
                 )
                 .unwrap_or_else(|p| panic!("{p}"));
@@ -336,6 +398,9 @@ impl GlobalRouter {
                     stats.pattern_routed += net_stats.pattern_routed;
                     stats.maze_routed += net_stats.maze_routed;
                     stats.search_nodes += net_stats.search_nodes;
+                    if let Some(reason) = net_stats.stop {
+                        run_outcome = run_outcome.merge(Outcome::from_stop(reason));
+                    }
                     tpl_trace::counter!("global.pattern_routed", net_stats.pattern_routed);
                     tpl_trace::counter!("global.maze_routed", net_stats.maze_routed);
                     tpl_trace::counter!("global.search_nodes", net_stats.search_nodes);
@@ -343,6 +408,7 @@ impl GlobalRouter {
                 }
             }
         }
+        stats.outcome = run_outcome;
 
         stats.overflowed_edges = edges.overflowed_edges();
         stats.total_edge_usage = net_paths
@@ -414,6 +480,8 @@ impl GlobalRouter {
         edges: &EdgeMap,
         terminals: &[(usize, usize)],
         scratch: &mut MazeScratch,
+        node_limit: u64,
+        budget: &RouteBudget,
     ) -> (Vec<Vec<(usize, usize)>>, NetRouteStats) {
         let mut net_stats = NetRouteStats::default();
         if terminals.len() < 2 {
@@ -425,7 +493,17 @@ impl GlobalRouter {
         for (a, b) in mst {
             let src = terminals[a];
             let dst = terminals[b];
-            paths.push(self.route_two_pin(grid, edges, src, dst, window, scratch, &mut net_stats));
+            paths.push(self.route_two_pin(
+                grid,
+                edges,
+                src,
+                dst,
+                window,
+                scratch,
+                &mut net_stats,
+                node_limit,
+                budget,
+            ));
         }
         (paths, net_stats)
     }
@@ -441,6 +519,8 @@ impl GlobalRouter {
         window: (usize, usize, usize, usize),
         scratch: &mut MazeScratch,
         net_stats: &mut NetRouteStats,
+        node_limit: u64,
+        budget: &RouteBudget,
     ) -> Vec<(usize, usize)> {
         let cfg = &self.config;
         // Try both L shapes first.
@@ -459,8 +539,15 @@ impl GlobalRouter {
         // net's window.
         net_stats.maze_routed += 1;
         let _maze_span = tpl_trace::span!("global.maze");
-        let (path, nodes) = maze_route(grid, edges, src, dst, window, cfg, scratch);
+        let (path, nodes, stop) = maze_route(
+            grid, edges, src, dst, window, cfg, scratch, node_limit, budget,
+        );
         net_stats.search_nodes += nodes;
+        if let Some(reason) = stop {
+            net_stats.stop = net_stats.stop.max(Some(reason));
+        }
+        // A stopped maze returns no path; degrade to the cheaper L so the
+        // net stays connected on the coarse grid.
         path.unwrap_or(best_l.0)
     }
 }
@@ -564,6 +651,15 @@ fn path_cost(path: &[(usize, usize)], edges: &EdgeMap, cfg: &GlobalConfig) -> f6
 /// first neighbour (in fixed west/east/south/north order) whose settled
 /// distance exactly accounts for the connecting edge.  The returned path is
 /// therefore a pure function of the edge costs, not of expansion order.
+///
+/// `node_limit` caps the frontier pops (deterministic; the limit is a batch
+/// snapshot, so it is worker-count independent), and `budget` supplies the
+/// cooperative wall-clock/cancellation checks probed every few thousand
+/// pops.  A stopped search returns no path plus the [`StopReason`]; callers
+/// fall back to the L-path.
+type MazeResult = (Option<Vec<(usize, usize)>>, usize, Option<StopReason>);
+
+#[allow(clippy::too_many_arguments)]
 fn maze_route(
     grid: &GCellGrid,
     edges: &EdgeMap,
@@ -572,13 +668,15 @@ fn maze_route(
     window: (usize, usize, usize, usize),
     cfg: &GlobalConfig,
     scratch: &mut MazeScratch,
-) -> (Option<Vec<(usize, usize)>>, usize) {
+    node_limit: u64,
+    budget: &RouteBudget,
+) -> MazeResult {
     let (wx0, wy0, wx1, wy1) = window;
     let search = &cfg.search;
     let start = grid.index(src.0, src.1);
     let goal = grid.index(dst.0, dst.1);
     if start == goal {
-        return (Some(vec![src]), 0);
+        return (Some(vec![src]), 0, None);
     }
     // Admissible, consistent lower bound: every gcell step costs >= 1.0.
     let h = |x: usize, y: usize| -> f64 {
@@ -603,8 +701,19 @@ fn maze_route(
     queued_key[start] = start_key;
     frontier.push(start_key, start as u32);
     let mut popped = 0usize;
+    let mut stop: Option<StopReason> = None;
 
     while let Some((k, raw)) = frontier.pop() {
+        if popped as u64 >= node_limit {
+            stop = Some(StopReason::SearchNodes);
+            break;
+        }
+        if popped & INTERRUPT_PROBE_MASK == 0 {
+            if let Some(reason) = budget.interrupted() {
+                stop = Some(reason);
+                break;
+            }
+        }
         popped += 1;
         let u = raw as usize;
         if !stamps.is_fresh(u) || k != queued_key[u] {
@@ -649,8 +758,14 @@ fn maze_route(
         }
     }
 
+    if stop.is_some() {
+        // A stopped search may not have settled the goal's true minimum, so
+        // the canonical backtrace would not be reliable; report no path and
+        // let the caller degrade to the L-pattern.
+        return (None, popped, stop);
+    }
     if !stamps.is_fresh(goal) {
-        return (None, popped);
+        return (None, popped, None);
     }
     // Canonical backtrace: from the goal, take the first in-window
     // neighbour (west, east, south, north) whose settled distance plus the
@@ -686,13 +801,13 @@ fn maze_route(
         }
         let Some((px, py)) = step else {
             // Defensive: cannot happen for settled distances, but never loop.
-            return (None, popped);
+            return (None, popped, None);
         };
         path.push((px, py));
         (cx, cy) = (px, py);
     }
     path.reverse();
-    (Some(path), popped)
+    (Some(path), popped, None)
 }
 
 /// Convenience: the centre of a pin's bounding box (used by tests).
@@ -816,7 +931,18 @@ mod tests {
         let window = (0, 0, grid.nx() - 1, grid.ny() - 1);
         let cfg = GlobalConfig::default();
         let mut scratch = MazeScratch::new(grid.len(), &cfg.search);
-        let (path, nodes) = maze_route(&grid, &edges, (0, 0), (5, 5), window, &cfg, &mut scratch);
+        let (path, nodes, stop) = maze_route(
+            &grid,
+            &edges,
+            (0, 0),
+            (5, 5),
+            window,
+            &cfg,
+            &mut scratch,
+            u64::MAX,
+            &RouteBudget::default(),
+        );
+        assert_eq!(stop, None);
         let path = path.unwrap();
         assert_eq!(path.len(), 11);
         assert_eq!(path[0], (0, 0));
@@ -840,9 +966,18 @@ mod tests {
         let cfg = GlobalConfig::default();
         let mut scratch = MazeScratch::new(grid.len(), &cfg.search);
         let full = (0, 0, grid.nx() - 1, grid.ny() - 1);
-        let (wide_path, wide_nodes) =
-            maze_route(&grid, &edges, (0, 0), (5, 5), full, &cfg, &mut scratch);
-        let (tight_path, tight_nodes) = maze_route(
+        let (wide_path, wide_nodes, _) = maze_route(
+            &grid,
+            &edges,
+            (0, 0),
+            (5, 5),
+            full,
+            &cfg,
+            &mut scratch,
+            u64::MAX,
+            &RouteBudget::default(),
+        );
+        let (tight_path, tight_nodes, _) = maze_route(
             &grid,
             &edges,
             (0, 0),
@@ -850,6 +985,8 @@ mod tests {
             (0, 0, 5, 5),
             &cfg,
             &mut scratch,
+            u64::MAX,
+            &RouteBudget::default(),
         );
         // The bounded search finds an equally short path with fewer pops.
         assert_eq!(
@@ -983,7 +1120,17 @@ mod tests {
                         ..base_cfg
                     };
                     let mut scratch = MazeScratch::new(grid.len(), &cfg.search);
-                    let (path, _) = maze_route(&grid, &edges, src, dst, window, &cfg, &mut scratch);
+                    let (path, _, _) = maze_route(
+                        &grid,
+                        &edges,
+                        src,
+                        dst,
+                        window,
+                        &cfg,
+                        &mut scratch,
+                        u64::MAX,
+                        &RouteBudget::default(),
+                    );
                     let path = path.expect("full window always has a path");
                     assert!(
                         (path_cost(&path, &edges, &cfg) - want).abs() < 1e-9,
@@ -998,6 +1145,74 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn budget_stopped_maze_degrades_to_l_paths() {
+        let mut b = DesignBuilder::new(
+            "m",
+            Technology::ispd_like(3),
+            Rect::from_coords(0, 0, 1000, 1000),
+        );
+        let p0 = b.add_pin_shape("a", 0, Rect::from_coords(0, 0, 10, 10));
+        let p1 = b.add_pin_shape("b", 0, Rect::from_coords(900, 900, 910, 910));
+        b.add_net("n", vec![p0, p1]);
+        let d = b.build().unwrap();
+        let grid = GCellGrid::build(&d, 5);
+        let edges = EdgeMap::new(grid.nx(), grid.ny(), 10);
+        let window = (0, 0, grid.nx() - 1, grid.ny() - 1);
+        let cfg = GlobalConfig::default();
+        let mut scratch = MazeScratch::new(grid.len(), &cfg.search);
+        let (path, nodes, stop) = maze_route(
+            &grid,
+            &edges,
+            (0, 0),
+            (5, 5),
+            window,
+            &cfg,
+            &mut scratch,
+            3,
+            &RouteBudget::default(),
+        );
+        assert_eq!(path, None, "a stopped maze yields no path");
+        assert_eq!(stop, Some(StopReason::SearchNodes));
+        assert!(nodes <= 3);
+    }
+
+    #[test]
+    fn zero_budget_run_still_covers_every_pin() {
+        let design = CaseParams::ispd18_like(1).scaled(0.4).generate();
+        let router = GlobalRouter::new(GlobalConfig::default());
+        let budget = RouteBudget::with_max_search_nodes(0);
+        let (guides, stats) = router.route_with_budget(&design, &budget);
+        assert_eq!(stats.outcome, Outcome::Degraded(StopReason::SearchNodes));
+        for net in design.nets() {
+            for pin in net.pins() {
+                let (layer, rect) = design.pin(*pin).shapes()[0];
+                assert!(
+                    guides.covers(net.id(), layer, &rect),
+                    "degraded guide of {} misses a pin",
+                    net.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn budgeted_global_run_is_identical_across_worker_counts() {
+        let design = CaseParams::ispd18_like(2).scaled(0.4).generate();
+        let budget = RouteBudget::with_max_search_nodes(50);
+        let (base_guides, base_stats) =
+            GlobalRouter::new(GlobalConfig::default()).route_with_budget(&design, &budget);
+        for jobs in [2, 4] {
+            let cfg = GlobalConfig {
+                parallelism: Parallelism::new(jobs),
+                ..GlobalConfig::default()
+            };
+            let (guides, stats) = GlobalRouter::new(cfg).route_with_budget(&design, &budget);
+            assert_eq!(stats, base_stats, "budgeted stats at jobs={jobs}");
+            assert_eq!(guides.total_regions(), base_guides.total_regions());
         }
     }
 

@@ -1,0 +1,333 @@
+//! Route budgets, cancellation, and graded outcomes.
+//!
+//! A [`RouteBudget`] bounds a routing run three ways:
+//!
+//! * **Search nodes** — a cap on frontier pops, the unit `search_nodes`
+//!   statistics already count.  Node accounting is *deterministic*: the
+//!   routers charge committed work at batch barriers only, so where the
+//!   budget trips is a pure function of the input, independent of worker
+//!   count or interleaving.
+//! * **Deadline** — an optional wall-clock [`Instant`]; cooperative checks
+//!   run at expansion granularity (every few thousand pops).  Wall clock is
+//!   inherently nondeterministic, so deadlines are meant for services, not
+//!   for byte-compared reports.
+//! * **Cancellation** — an optional shared [`CancelToken`] another thread
+//!   may flip at any time, checked alongside the deadline.
+//!
+//! Routers report how a run ended as an [`Outcome`]: budget exhaustion
+//! degrades the run (best-so-far partial results, [`Outcome::Degraded`]),
+//! while a deadline or cancellation aborts it ([`Outcome::Aborted`]) — in
+//! both cases the router returns normally instead of running away or
+//! panicking.  [`Degradation`] names the progressively cheaper search
+//! configurations the harness ladder retries with after a budget trip or a
+//! panic.
+
+use crate::kernel::SearchConfig;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Why a routing run stopped before completing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum StopReason {
+    /// The search-node budget ran out (deterministic).
+    SearchNodes,
+    /// The wall-clock deadline passed (nondeterministic by nature).
+    Deadline,
+    /// The [`CancelToken`] was flipped.
+    Cancelled,
+}
+
+impl StopReason {
+    /// Stable lower-case label (`search_nodes` / `deadline` / `cancelled`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            StopReason::SearchNodes => "search_nodes",
+            StopReason::Deadline => "deadline",
+            StopReason::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// How a routing run ended, carried in the routers' statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Outcome {
+    /// The run finished everything it set out to do.
+    #[default]
+    Complete,
+    /// The run stopped early on a budget limit but returns its best-so-far
+    /// partial result (unrouted nets are simply absent, never corrupt).
+    Degraded(StopReason),
+    /// The run was cut short by a deadline or cancellation; partial results
+    /// are still structurally valid.
+    Aborted(StopReason),
+}
+
+impl Outcome {
+    /// `true` for [`Outcome::Complete`].
+    pub fn is_complete(&self) -> bool {
+        *self == Outcome::Complete
+    }
+
+    /// Combines two phases of one run: the worst outcome wins (`Aborted`
+    /// over `Degraded` over `Complete`; the derived order encodes this).
+    pub fn merge(self, other: Outcome) -> Outcome {
+        self.max(other)
+    }
+
+    /// Stable lower-case label (`complete` / `degraded` / `aborted`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Outcome::Complete => "complete",
+            Outcome::Degraded(_) => "degraded",
+            Outcome::Aborted(_) => "aborted",
+        }
+    }
+
+    /// The stop reason, for non-complete outcomes.
+    pub fn reason(&self) -> Option<StopReason> {
+        match self {
+            Outcome::Complete => None,
+            Outcome::Degraded(r) | Outcome::Aborted(r) => Some(*r),
+        }
+    }
+
+    /// The outcome a router reports for `reason`: budget exhaustion
+    /// degrades the run, deadline/cancellation abort it.
+    pub fn from_stop(reason: StopReason) -> Outcome {
+        match reason {
+            StopReason::SearchNodes => Outcome::Degraded(reason),
+            StopReason::Deadline | StopReason::Cancelled => Outcome::Aborted(reason),
+        }
+    }
+}
+
+/// Shared flag that cancels in-flight routing cooperatively.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation; every router holding a clone stops at its
+    /// next cooperative check.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` once [`cancel`](CancelToken::cancel) was called.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Limits of one routing run.  The default is unlimited — routers behave
+/// exactly as if no budget existed.
+#[derive(Clone, Debug, Default)]
+pub struct RouteBudget {
+    /// Cap on search-node pops (deterministic; charged at batch barriers).
+    pub max_search_nodes: Option<u64>,
+    /// Wall-clock cut-off (nondeterministic; cooperative checks).
+    pub deadline: Option<Instant>,
+    /// Cooperative cancellation flag shared with the caller.
+    pub cancel: Option<CancelToken>,
+}
+
+impl RouteBudget {
+    /// An unlimited budget (the default).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// A budget capping search-node pops at `max`.
+    pub fn with_max_search_nodes(max: u64) -> Self {
+        Self {
+            max_search_nodes: Some(max),
+            ..Self::default()
+        }
+    }
+
+    /// `true` when no limit is set at all.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_search_nodes.is_none() && self.deadline.is_none() && self.cancel.is_none()
+    }
+
+    /// Search nodes still available after `used` committed pops
+    /// (`u64::MAX` when uncapped).
+    pub fn remaining_nodes(&self, used: u64) -> u64 {
+        match self.max_search_nodes {
+            Some(max) => max.saturating_sub(used),
+            None => u64::MAX,
+        }
+    }
+
+    /// The wall-clock/cancellation check routers run cooperatively:
+    /// `Some(reason)` once the deadline passed or the token was cancelled.
+    pub fn interrupted(&self) -> Option<StopReason> {
+        if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            return Some(StopReason::Cancelled);
+        }
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Some(StopReason::Deadline);
+        }
+        None
+    }
+}
+
+/// One rung of the harness's graceful-degradation ladder: progressively
+/// cheaper search configurations retried after a budget trip or a panic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Degradation {
+    /// The requested configuration, unchanged.
+    #[default]
+    None,
+    /// Goal-directed A* disabled (pure Dijkstra order).
+    NoAStar,
+    /// A* disabled plus a coarser key quantisation (fewer distinct keys,
+    /// shorter frontier scans).
+    CoarseKey,
+    /// All of the above plus sequential net routing (`net_jobs = 1`),
+    /// ruling out any parallel-infrastructure interference.
+    Sequential,
+}
+
+impl Degradation {
+    /// The ladder in escalation order, starting at the requested config.
+    pub fn ladder() -> [Degradation; 4] {
+        [
+            Degradation::None,
+            Degradation::NoAStar,
+            Degradation::CoarseKey,
+            Degradation::Sequential,
+        ]
+    }
+
+    /// Stable lower-case label (`none` / `no_a_star` / `coarse_key` /
+    /// `sequential`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Degradation::None => "none",
+            Degradation::NoAStar => "no_a_star",
+            Degradation::CoarseKey => "coarse_key",
+            Degradation::Sequential => "sequential",
+        }
+    }
+
+    /// Applies this rung to a search configuration.  `Sequential`
+    /// additionally forces `net_jobs = 1`, which the harness applies at the
+    /// parallelism level (see
+    /// [`degraded_net_jobs`](Degradation::degraded_net_jobs)).
+    pub fn apply(&self, config: SearchConfig) -> SearchConfig {
+        match self {
+            Degradation::None => config,
+            Degradation::NoAStar => SearchConfig {
+                a_star: false,
+                ..config
+            },
+            Degradation::CoarseKey | Degradation::Sequential => SearchConfig {
+                a_star: false,
+                key_resolution: (config.key_resolution / 4.0).max(1.0),
+                bucket_shift: config.bucket_shift.saturating_sub(2).max(1),
+                ..config
+            },
+        }
+    }
+
+    /// The intra-case worker count of this rung: the requested `net_jobs`
+    /// until the `Sequential` rung forces 1.
+    pub fn degraded_net_jobs(&self, requested: usize) -> usize {
+        match self {
+            Degradation::Sequential => 1,
+            _ => requested.max(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn default_budget_is_unlimited_and_never_interrupts() {
+        let budget = RouteBudget::default();
+        assert!(budget.is_unlimited());
+        assert_eq!(budget.remaining_nodes(0), u64::MAX);
+        assert_eq!(budget.remaining_nodes(u64::MAX), u64::MAX);
+        assert_eq!(budget.interrupted(), None);
+    }
+
+    #[test]
+    fn node_budget_saturates_at_zero() {
+        let budget = RouteBudget::with_max_search_nodes(100);
+        assert!(!budget.is_unlimited());
+        assert_eq!(budget.remaining_nodes(0), 100);
+        assert_eq!(budget.remaining_nodes(40), 60);
+        assert_eq!(budget.remaining_nodes(100), 0);
+        assert_eq!(budget.remaining_nodes(1000), 0);
+    }
+
+    #[test]
+    fn cancellation_and_deadline_interrupt() {
+        let token = CancelToken::new();
+        let budget = RouteBudget {
+            cancel: Some(token.clone()),
+            ..RouteBudget::default()
+        };
+        assert_eq!(budget.interrupted(), None);
+        token.cancel();
+        assert_eq!(budget.interrupted(), Some(StopReason::Cancelled));
+
+        let passed = RouteBudget {
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+            ..RouteBudget::default()
+        };
+        assert_eq!(passed.interrupted(), Some(StopReason::Deadline));
+    }
+
+    #[test]
+    fn outcomes_merge_worst_wins() {
+        use Outcome::*;
+        use StopReason::*;
+        assert_eq!(Complete.merge(Complete), Complete);
+        assert_eq!(Complete.merge(Degraded(SearchNodes)), Degraded(SearchNodes));
+        assert_eq!(
+            Degraded(SearchNodes).merge(Aborted(Cancelled)),
+            Aborted(Cancelled)
+        );
+        assert_eq!(
+            Aborted(Deadline).merge(Degraded(SearchNodes)),
+            Aborted(Deadline)
+        );
+        assert!(Complete.is_complete());
+        assert!(!Degraded(SearchNodes).is_complete());
+        assert_eq!(Degraded(SearchNodes).as_str(), "degraded");
+        assert_eq!(Aborted(Cancelled).reason(), Some(Cancelled));
+        assert_eq!(Outcome::from_stop(SearchNodes), Degraded(SearchNodes));
+        assert_eq!(Outcome::from_stop(Deadline), Aborted(Deadline));
+        assert_eq!(Outcome::from_stop(Cancelled), Aborted(Cancelled));
+    }
+
+    #[test]
+    fn ladder_escalates_and_applies_cheaper_configs() {
+        let base = SearchConfig::default();
+        let ladder = Degradation::ladder();
+        assert_eq!(ladder[0], Degradation::None);
+        assert_eq!(ladder[0].apply(base), base);
+        assert!(!ladder[1].apply(base).a_star);
+        assert_eq!(ladder[1].apply(base).key_resolution, base.key_resolution);
+        let coarse = ladder[2].apply(base);
+        assert!(!coarse.a_star);
+        assert!(coarse.key_resolution < base.key_resolution);
+        assert!(coarse.bucket_shift < base.bucket_shift);
+        assert_eq!(ladder[3].apply(base), coarse);
+        assert_eq!(ladder[2].degraded_net_jobs(8), 8);
+        assert_eq!(ladder[3].degraded_net_jobs(8), 1);
+        assert_eq!(Degradation::Sequential.as_str(), "sequential");
+    }
+}

@@ -81,6 +81,7 @@ pub enum Frontier {
 impl Frontier {
     /// Builds the frontier the config asks for.
     pub fn for_config(config: &SearchConfig) -> Self {
+        tpl_fault::point!("grid.frontier");
         if config.bucket_queue {
             Frontier::Bucket(BucketQueue::new(config.bucket_shift, config.bucket_span))
         } else {

@@ -27,6 +27,7 @@
 
 mod bitset;
 mod bucket;
+mod budget;
 mod costs;
 mod epoch;
 mod graph;
@@ -37,6 +38,7 @@ mod state;
 
 pub use bitset::DenseBitSet;
 pub use bucket::BucketQueue;
+pub use budget::{CancelToken, Degradation, Outcome, RouteBudget, StopReason};
 pub use costs::CostParams;
 pub use epoch::EpochStamps;
 pub use graph::{GridGraph, VertexId};

@@ -12,6 +12,7 @@ use tpl_decompose::{DecomposeConfig, Decomposer};
 use tpl_design::{Design, RouteGuides};
 use tpl_drcu::{DrCuConfig, DrCuRouter};
 use tpl_global::{GlobalConfig, GlobalRouter};
+use tpl_grid::{Outcome, RouteBudget};
 use tpl_ispd::{score_solution, Case, CaseParams, ScoreWeights};
 use tpl_metrics::CaseRecord;
 use tpl_par::Parallelism;
@@ -45,6 +46,27 @@ pub fn prepare_with_search(
     a_star: bool,
     bucket_queue: bool,
 ) -> (Design, RouteGuides) {
+    let (design, guides, _) = prepare_with_budget(
+        case,
+        net_jobs,
+        a_star,
+        bucket_queue,
+        &RouteBudget::default(),
+    );
+    (design, guides)
+}
+
+/// Like [`prepare_with_search`], under a [`RouteBudget`] for the global
+/// router's maze searches.  Budget-stopped mazes degrade to L-patterns, so
+/// the guides always cover every pin; the returned [`Outcome`] says whether
+/// guide generation ran to completion or degraded/aborted.
+pub fn prepare_with_budget(
+    case: &Case,
+    net_jobs: usize,
+    a_star: bool,
+    bucket_queue: bool,
+    budget: &RouteBudget,
+) -> (Design, RouteGuides, Outcome) {
     let design = case.instantiate();
     let mut config = GlobalConfig {
         parallelism: Parallelism::new(net_jobs),
@@ -52,8 +74,8 @@ pub fn prepare_with_search(
     };
     config.search.a_star = a_star;
     config.search.bucket_queue = bucket_queue;
-    let guides = GlobalRouter::new(config).route(&design);
-    (design, guides)
+    let (guides, stats) = GlobalRouter::new(config).route_with_budget(&design, budget);
+    (design, guides, stats.outcome)
 }
 
 /// Runs Mr.TPL on a prepared case.
@@ -62,7 +84,19 @@ pub fn run_mrtpl(
     guides: &RouteGuides,
     config: &MrTplConfig,
 ) -> (CaseRecord, mrtpl_core::MrTplResult) {
-    let result = MrTplRouter::new(*config).route(design, guides);
+    run_mrtpl_budgeted(design, guides, config, &RouteBudget::default())
+}
+
+/// Runs Mr.TPL on a prepared case under a [`RouteBudget`].  The record's
+/// `outcome` reports whether the run completed, degraded on a budget trip
+/// (the record then describes a best-so-far partial solution), or aborted.
+pub fn run_mrtpl_budgeted(
+    design: &Design,
+    guides: &RouteGuides,
+    config: &MrTplConfig,
+    budget: &RouteBudget,
+) -> (CaseRecord, mrtpl_core::MrTplResult) {
+    let result = MrTplRouter::new(*config).route_with_budget(design, guides, budget);
     let cost = score_solution(design, guides, &result.solution, &ScoreWeights::default());
     (
         CaseRecord {
@@ -75,6 +109,7 @@ pub fn run_mrtpl(
             vias: result.solution.total_vias(),
             search_nodes: result.stats.search_nodes,
             rrr_iterations: result.stats.rrr_iterations,
+            outcome: result.stats.outcome,
         },
         result,
     )
@@ -99,6 +134,7 @@ pub fn run_dac12(
             vias: result.solution.total_vias(),
             search_nodes: 0,
             rrr_iterations: result.stats.rrr_iterations,
+            outcome: Outcome::Complete,
         },
         result,
     )
@@ -129,6 +165,7 @@ pub fn run_drcu(
             vias: result.solution.total_vias(),
             search_nodes: 0,
             rrr_iterations: result.stats.rrr_iterations,
+            outcome: Outcome::Complete,
         },
         result,
     )
@@ -160,6 +197,7 @@ pub fn run_decompose(
             vias: routed.solution.total_vias(),
             search_nodes: 0,
             rrr_iterations: routed.stats.rrr_iterations,
+            outcome: Outcome::Complete,
         },
         result,
     )

@@ -8,6 +8,40 @@
 
 use std::fmt::Write as _;
 
+/// A positioned JSON parse error: 1-based line and column of the byte the
+/// parser rejected, so callers (notably `bench-diff` on a corrupt committed
+/// baseline) can point at the real spot instead of a raw byte offset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column (in bytes; reports are ASCII).
+    pub col: usize,
+    /// What went wrong, without position.
+    pub message: String,
+}
+
+impl JsonParseError {
+    fn at(input: &str, pos: usize, message: String) -> Self {
+        let pos = pos.min(input.len());
+        let line = input[..pos].bytes().filter(|b| *b == b'\n').count() + 1;
+        let col = pos - input[..pos].rfind('\n').map_or(0, |i| i + 1) + 1;
+        JsonParseError { line, col, message }
+    }
+}
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "line {}, column {}: {}",
+            self.line, self.col, self.message
+        )
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
 /// A JSON value.
 #[derive(Clone, Debug, PartialEq)]
 pub enum JsonValue {
@@ -40,18 +74,21 @@ impl JsonValue {
     /// [`JsonValue::UInt`].  Trailing non-whitespace input is an error.
     ///
     /// [`render`]: JsonValue::render
-    pub fn parse(input: &str) -> Result<JsonValue, String> {
+    pub fn parse(input: &str) -> Result<JsonValue, JsonParseError> {
         let mut parser = Parser {
             bytes: input.as_bytes(),
             pos: 0,
         };
-        parser.skip_ws();
-        let value = parser.value()?;
-        parser.skip_ws();
-        if parser.pos != parser.bytes.len() {
-            return Err(format!("trailing input at byte {}", parser.pos));
-        }
-        Ok(value)
+        let result = (|| {
+            parser.skip_ws();
+            let value = parser.value()?;
+            parser.skip_ws();
+            if parser.pos != parser.bytes.len() {
+                return Err((parser.pos, "trailing input".to_string()));
+            }
+            Ok(value)
+        })();
+        result.map_err(|(pos, message)| JsonParseError::at(input, pos, message))
     }
 
     /// Looks a key up in an object; `None` for missing keys or non-objects.
@@ -155,6 +192,10 @@ struct Parser<'a> {
     pos: usize,
 }
 
+/// Internal parser error: byte position plus message, converted to a
+/// line/column [`JsonParseError`] at the `parse` boundary.
+type RawError = (usize, String);
+
 impl Parser<'_> {
     fn skip_ws(&mut self) {
         while let Some(b) = self.bytes.get(self.pos) {
@@ -170,25 +211,25 @@ impl Parser<'_> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, byte: u8) -> Result<(), String> {
+    fn expect(&mut self, byte: u8) -> Result<(), RawError> {
         if self.peek() == Some(byte) {
             self.pos += 1;
             Ok(())
         } else {
-            Err(format!("expected `{}` at byte {}", byte as char, self.pos))
+            Err((self.pos, format!("expected `{}`", byte as char)))
         }
     }
 
-    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, RawError> {
         if self.bytes[self.pos..].starts_with(word.as_bytes()) {
             self.pos += word.len();
             Ok(value)
         } else {
-            Err(format!("invalid literal at byte {}", self.pos))
+            Err((self.pos, "invalid literal".to_string()))
         }
     }
 
-    fn value(&mut self) -> Result<JsonValue, String> {
+    fn value(&mut self) -> Result<JsonValue, RawError> {
         match self.peek() {
             Some(b'n') => self.literal("null", JsonValue::Null),
             Some(b't') => self.literal("true", JsonValue::Bool(true)),
@@ -197,16 +238,17 @@ impl Parser<'_> {
             Some(b'[') => self.array(),
             Some(b'{') => self.object(),
             Some(b'-' | b'0'..=b'9') => self.number(),
-            _ => Err(format!("unexpected input at byte {}", self.pos)),
+            Some(_) => Err((self.pos, "unexpected input".to_string())),
+            None => Err((self.pos, "unexpected end of input".to_string())),
         }
     }
 
-    fn string(&mut self) -> Result<String, String> {
+    fn string(&mut self) -> Result<String, RawError> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
-                None => return Err("unterminated string".to_string()),
+                None => return Err((self.pos, "unterminated string".to_string())),
                 Some(b'"') => {
                     self.pos += 1;
                     return Ok(out);
@@ -215,7 +257,7 @@ impl Parser<'_> {
                     self.pos += 1;
                     let escape = self
                         .peek()
-                        .ok_or_else(|| "unterminated escape".to_string())?;
+                        .ok_or((self.pos, "unterminated escape".to_string()))?;
                     self.pos += 1;
                     match escape {
                         b'"' => out.push('"'),
@@ -231,15 +273,17 @@ impl Parser<'_> {
                                 .bytes
                                 .get(self.pos..self.pos + 4)
                                 .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                                .ok_or((self.pos, "truncated \\u escape".to_string()))?;
                             let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| "invalid \\u escape".to_string())?;
+                                .map_err(|_| (self.pos, "invalid \\u escape".to_string()))?;
                             self.pos += 4;
                             // Surrogate pairs are not emitted by the writer;
                             // map lone surrogates to the replacement char.
                             out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                         }
-                        other => return Err(format!("invalid escape `\\{}`", other as char)),
+                        other => {
+                            return Err((self.pos, format!("invalid escape `\\{}`", other as char)))
+                        }
                     }
                 }
                 Some(_) => {
@@ -254,7 +298,7 @@ impl Parser<'_> {
         }
     }
 
-    fn number(&mut self) -> Result<JsonValue, String> {
+    fn number(&mut self) -> Result<JsonValue, RawError> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
@@ -288,10 +332,10 @@ impl Parser<'_> {
         }
         text.parse::<f64>()
             .map(JsonValue::Float)
-            .map_err(|_| format!("invalid number `{text}`"))
+            .map_err(|_| (start, format!("invalid number `{text}`")))
     }
 
-    fn array(&mut self) -> Result<JsonValue, String> {
+    fn array(&mut self) -> Result<JsonValue, RawError> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
@@ -309,12 +353,12 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(JsonValue::Array(items));
                 }
-                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+                _ => return Err((self.pos, "expected `,` or `]`".to_string())),
             }
         }
     }
 
-    fn object(&mut self) -> Result<JsonValue, String> {
+    fn object(&mut self) -> Result<JsonValue, RawError> {
         self.expect(b'{')?;
         let mut entries = Vec::new();
         self.skip_ws();
@@ -337,7 +381,7 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(JsonValue::Object(entries));
                 }
-                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+                _ => return Err((self.pos, "expected `,` or `}`".to_string())),
             }
         }
     }
@@ -439,6 +483,19 @@ mod tests {
         for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "1 2", "\"unterminated"] {
             assert!(JsonValue::parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn parse_errors_carry_line_and_column() {
+        let err = JsonValue::parse("{\n  \"a\": 1,\n  \"b\": oops\n}").unwrap_err();
+        assert_eq!((err.line, err.col), (3, 8), "{err}");
+        assert_eq!(err.to_string(), "line 3, column 8: unexpected input");
+        let err = JsonValue::parse("").unwrap_err();
+        assert_eq!((err.line, err.col), (1, 1));
+        assert!(err.message.contains("end of input"));
+        // A truncated document errors at its very end.
+        let err = JsonValue::parse("{\n  \"records\": [\n").unwrap_err();
+        assert_eq!(err.line, 3, "{err}");
     }
 
     #[test]

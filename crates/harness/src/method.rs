@@ -47,17 +47,22 @@ impl Method for MrTplMethod {
 
     fn run(&self, case: &PreparedCase) -> CaseRecord {
         let prepared = case.get();
-        let (design, guides) = &*prepared;
+        let (design, guides, prep_outcome) = &*prepared;
         // The scheduler's `--net-jobs` and search knobs compose with (and
         // override) the method's own defaults; determinism is guaranteed by
-        // the router.
+        // the router.  The attempt's degradation rung then cheapens the
+        // search config and may force sequential net routing.
+        let degradation = case.degradation();
         let mut config = MrTplConfig {
-            parallelism: Parallelism::new(case.net_jobs()),
+            parallelism: Parallelism::new(degradation.degraded_net_jobs(case.net_jobs())),
             ..self.config
         };
         config.search.a_star = case.a_star();
         config.search.bucket_queue = case.bucket_queue();
-        flows::run_mrtpl(design, guides, &config).0
+        config.search = degradation.apply(config.search);
+        let mut record = flows::run_mrtpl_budgeted(design, guides, &config, &case.budget()).0;
+        record.outcome = record.outcome.merge(*prep_outcome);
+        record
     }
 }
 
@@ -79,8 +84,10 @@ impl Method for Dac12Method {
 
     fn run(&self, case: &PreparedCase) -> CaseRecord {
         let prepared = case.get();
-        let (design, guides) = &*prepared;
-        flows::run_dac12(design, guides, &self.config).0
+        let (design, guides, prep_outcome) = &*prepared;
+        let mut record = flows::run_dac12(design, guides, &self.config).0;
+        record.outcome = record.outcome.merge(*prep_outcome);
+        record
     }
 }
 
@@ -102,8 +109,10 @@ impl Method for DrCuMethod {
 
     fn run(&self, case: &PreparedCase) -> CaseRecord {
         let prepared = case.get();
-        let (design, guides) = &*prepared;
-        flows::run_drcu(design, guides, &self.config).0
+        let (design, guides, prep_outcome) = &*prepared;
+        let mut record = flows::run_drcu(design, guides, &self.config).0;
+        record.outcome = record.outcome.merge(*prep_outcome);
+        record
     }
 }
 
@@ -128,8 +137,10 @@ impl Method for DecomposeMethod {
 
     fn run(&self, case: &PreparedCase) -> CaseRecord {
         let prepared = case.get();
-        let (design, guides) = &*prepared;
-        flows::run_decompose(design, guides, &self.route, &self.decompose).0
+        let (design, guides, prep_outcome) = &*prepared;
+        let mut record = flows::run_decompose(design, guides, &self.route, &self.decompose).0;
+        record.outcome = record.outcome.merge(*prep_outcome);
+        record
     }
 }
 

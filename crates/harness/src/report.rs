@@ -24,9 +24,13 @@
 //!       "conflicts": 0,
 //!       "stitches": 12,
 //!       "cost": 31415.9,
-//!       "runtime_seconds": 0.42
+//!       "runtime_seconds": 0.42,
+//!       "outcome": "complete",
+//!       "attempts": 1,
+//!       "degradation": "none"
 //!     },
-//!     { "method": "mrtpl", "case": "...", "status": "failed", "error": "..." }
+//!     { "method": "mrtpl", "case": "...", "status": "failed", "error": "...",
+//!       "outcome": "failed", "attempts": 4, "degradation": "sequential" }
 //!   ],
 //!   "totals": { "dac12": { "cases": 10, "failed": 0, "conflicts": 3, ... } },
 //!   "geomean_speedup_vs_dac12": { "mrtpl": 1.7 }
@@ -300,6 +304,24 @@ fn record_json(record: &JobRecord, with_phases: bool) -> JsonValue {
             }
         }
     }
+    // The robustness triple every record carries: how the kept attempt ended
+    // (`complete`/`degraded`/`aborted`, or `failed` when no attempt produced
+    // a record), how many ladder attempts ran, and the rung that produced it.
+    entries.push((
+        "outcome".to_string(),
+        JsonValue::str(match &record.outcome {
+            JobOutcome::Ok(r) => r.outcome.as_str(),
+            JobOutcome::Failed { .. } => "failed",
+        }),
+    ));
+    entries.push((
+        "attempts".to_string(),
+        JsonValue::UInt(record.attempts as u64),
+    ));
+    entries.push((
+        "degradation".to_string(),
+        JsonValue::str(record.degradation.as_str()),
+    ));
     if with_phases {
         if let Some(phases) = record.phases.as_ref().filter(|p| !p.is_empty()) {
             let parsed =
@@ -350,6 +372,7 @@ fn totals_json(report: &RunReport, method: &str) -> JsonValue {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tpl_grid::Degradation;
 
     fn ok(method: &str, case: &str, conflicts: usize, rt: f64) -> JobRecord {
         JobRecord {
@@ -365,6 +388,8 @@ mod tests {
             }),
             wall_seconds: rt,
             phases: None,
+            attempts: 1,
+            degradation: Degradation::None,
         }
     }
 
@@ -378,6 +403,8 @@ mod tests {
             },
             wall_seconds: 0.5,
             phases: None,
+            attempts: Degradation::ladder().len(),
+            degradation: Degradation::Sequential,
         }
     }
 
@@ -419,6 +446,12 @@ mod tests {
             "\"status\": \"ok\"",
             "\"status\": \"failed\"",
             "\"error\": \"boom \\\"quoted\\\"\"",
+            "\"outcome\": \"complete\"",
+            "\"outcome\": \"failed\"",
+            "\"attempts\": 1",
+            "\"attempts\": 4",
+            "\"degradation\": \"none\"",
+            "\"degradation\": \"sequential\"",
             "\"totals\"",
             "\"geomean_speedup_vs_dac12\"",
         ] {

@@ -9,14 +9,23 @@
 //!
 //! Each job runs under [`std::panic::catch_unwind`]: a crashing method/case
 //! pair becomes a [`JobOutcome::Failed`] record instead of killing the run.
+//!
+//! On top of the panic isolation sits a **graceful-degradation ladder**: a
+//! job whose attempt panics or ends non-[`Outcome::Complete`] (budget
+//! exhaustion, deadline) is retried with progressively cheaper search
+//! configurations — A* off, then a coarser key quantisation, then sequential
+//! net routing — bounded by [`Degradation::ladder`].  The best record of any
+//! attempt is kept, and every [`JobRecord`] reports how many `attempts` ran
+//! and which `degradation` rung produced its record.
 
 use crate::flows;
 use crate::Method;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use tpl_design::{Design, RouteGuides};
+use tpl_grid::{Degradation, Outcome, RouteBudget, StopReason};
 use tpl_ispd::Case;
 use tpl_metrics::CaseRecord;
 use tpl_trace::TaskPhases;
@@ -27,7 +36,7 @@ struct CaseSlot {
     /// drops it to zero also drops the prepared data, so peak memory stays
     /// at the number of cases in flight rather than the whole suite.
     remaining: AtomicUsize,
-    data: Mutex<Option<Arc<(Design, RouteGuides)>>>,
+    data: Mutex<Option<Arc<(Design, RouteGuides, Outcome)>>>,
 }
 
 /// Recovers the guard from a poisoned lock: the panic that poisoned it has
@@ -51,6 +60,9 @@ pub struct PreparedCase<'a> {
     net_jobs: usize,
     a_star: bool,
     bucket_queue: bool,
+    degradation: Degradation,
+    max_search_nodes: Option<u64>,
+    deadline_seconds: Option<f64>,
 }
 
 impl PreparedCase<'_> {
@@ -79,8 +91,34 @@ impl PreparedCase<'_> {
         self.bucket_queue
     }
 
-    /// The generated design and its route guides, built on first use.
-    pub fn get(&self) -> Arc<(Design, RouteGuides)> {
+    /// The degradation rung this attempt runs at.  Methods with a search
+    /// kernel apply it to their `SearchConfig` (and net-level worker count)
+    /// via [`Degradation::apply`] / [`Degradation::degraded_net_jobs`].
+    pub fn degradation(&self) -> Degradation {
+        self.degradation
+    }
+
+    /// A fresh [`RouteBudget`] for this attempt.  The search-node ceiling is
+    /// deterministic; the wall-clock deadline (if any) starts counting at the
+    /// moment of this call, i.e. at attempt start.
+    pub fn budget(&self) -> RouteBudget {
+        RouteBudget {
+            max_search_nodes: self.max_search_nodes,
+            deadline: self
+                .deadline_seconds
+                .map(|s| Instant::now() + Duration::from_secs_f64(s)),
+            ..RouteBudget::default()
+        }
+    }
+
+    /// The generated design, its route guides, and the guide-generation
+    /// [`Outcome`], built on first use.
+    ///
+    /// Preparation always runs under the requested (non-degraded) search
+    /// knobs, the canonical fault scope `prepare/<case>`, and a node-count
+    /// budget only (no deadline, no cancel token): whichever job or attempt
+    /// pays for it, the shared result is identical by construction.
+    pub fn get(&self) -> Arc<(Design, RouteGuides, Outcome)> {
         let mut guard = lock_ignoring_poison(&self.slot.data);
         if let Some(prepared) = guard.as_ref() {
             return prepared.clone();
@@ -90,11 +128,18 @@ impl PreparedCase<'_> {
         // aggregates stay independent of the worker count.
         let _untasked = tpl_trace::untasked();
         let _prepare_span = tpl_trace::span!("harness.prepare");
-        let prepared = Arc::new(flows::prepare_with_search(
+        let _fault_scope = tpl_fault::scope(&format!("prepare/{}", self.case.name()));
+        tpl_fault::point!("harness.prepare");
+        let budget = RouteBudget {
+            max_search_nodes: self.max_search_nodes,
+            ..RouteBudget::default()
+        };
+        let prepared = Arc::new(flows::prepare_with_budget(
             self.case,
             self.net_jobs,
             self.a_star,
             self.bucket_queue,
+            &budget,
         ));
         *guard = Some(prepared.clone());
         prepared
@@ -133,6 +178,15 @@ pub struct RunOptions {
     /// Guaranteed to never change any record — pop order is identical to the
     /// binary-heap fallback by construction.
     pub bucket_queue: bool,
+    /// Search-node budget per attempt (`--budget`).  Deterministic: the
+    /// routers account nodes at batch barriers, so a budgeted run produces
+    /// identical records for every `jobs`/`net_jobs` value.  `None` means
+    /// unlimited.
+    pub max_search_nodes: Option<u64>,
+    /// Wall-clock deadline per attempt in seconds (`--deadline`).  By nature
+    /// *not* deterministic — where the deadline lands depends on machine
+    /// speed — so deterministic byte-comparisons should not set it.
+    pub deadline_seconds: Option<f64>,
 }
 
 impl Default for RunOptions {
@@ -144,6 +198,8 @@ impl Default for RunOptions {
             trace: false,
             a_star: true,
             bucket_queue: true,
+            max_search_nodes: None,
+            deadline_seconds: None,
         }
     }
 }
@@ -182,18 +238,27 @@ pub struct JobRecord {
     /// tracing enabled).  Deterministic runs zero the wall-clock components,
     /// leaving counts and sums that are worker-count-invariant.
     pub phases: Option<TaskPhases>,
+    /// How many ladder attempts actually executed for this job (1 when the
+    /// first attempt completed, up to [`Degradation::ladder`]`.len()`).
+    pub attempts: usize,
+    /// The degradation rung that produced the kept record (or the last rung
+    /// tried, if every attempt failed).
+    pub degradation: Degradation,
 }
 
 /// Equality compares the deterministic content of a job — method, case,
-/// outcome and phase aggregates — and ignores `wall_seconds`, which is
-/// measurement metadata that legitimately differs between otherwise
-/// identical runs.  The determinism tests rely on exactly this contract.
+/// outcome, attempts/degradation, and phase aggregates — and ignores
+/// `wall_seconds`, which is measurement metadata that legitimately differs
+/// between otherwise identical runs.  The determinism tests rely on exactly
+/// this contract.
 impl PartialEq for JobRecord {
     fn eq(&self, other: &Self) -> bool {
         self.method == other.method
             && self.case == other.case
             && self.outcome == other.outcome
             && self.phases == other.phases
+            && self.attempts == other.attempts
+            && self.degradation == other.degradation
     }
 }
 
@@ -270,15 +335,8 @@ pub fn run_matrix(methods: &[&dyn Method], cases: &[Case], options: &RunOptions)
                         }
                         tpl_trace::value!("harness.queue_depth", jobs.len() - index);
                         let (m, c) = jobs[index];
-                        let case = PreparedCase {
-                            case: &cases[c],
-                            slot: &prepared[c],
-                            net_jobs: options.net_jobs.max(1),
-                            a_star: options.a_star,
-                            bucket_queue: options.bucket_queue,
-                        };
                         let task = task_base.map(|base| base + index as u64);
-                        let record = run_job(methods[m], &case, options, task);
+                        let record = run_job(methods[m], &cases[c], &prepared[c], options, task);
                         if prepared[c].remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
                             lock_ignoring_poison(&prepared[c].data).take();
                         }
@@ -302,17 +360,26 @@ pub fn run_matrix(methods: &[&dyn Method], cases: &[Case], options: &RunOptions)
         .collect()
 }
 
-/// Runs one (method, case) job with panic isolation.  Case preparation runs
-/// inside the same isolation, so a crash while generating a case also
-/// becomes a failed record.
+/// Runs one (method, case) job with panic isolation and the degradation
+/// ladder.  Case preparation runs inside the same isolation, so a crash
+/// while generating a case also becomes a failed record.
 ///
-/// With `task` set the whole job runs under that trace task id and its
-/// aggregated [`TaskPhases`] are collected into the record; wall-clock time
-/// is measured regardless (even in deterministic mode, where only the
-/// byte-compared `CaseRecord::runtime_seconds` is zeroed).
+/// Each ladder rung is one attempt under [`catch_unwind`].  An attempt that
+/// returns a [`Outcome::Complete`] record (or is cancelled) ends the ladder;
+/// a panic or a budget-degraded/aborted record triggers a retry at the next
+/// cheaper rung.  The best record across attempts is kept — smallest
+/// [`Outcome`], earliest rung on ties, so a clean early record is never
+/// replaced by a later, more degraded one.  If no attempt produced a record,
+/// the job fails with the last panic's message and phase.
+///
+/// With `task` set the whole job (all attempts) runs under that trace task
+/// id and its aggregated [`TaskPhases`] are collected into the record;
+/// wall-clock time is measured regardless (even in deterministic mode, where
+/// only the byte-compared `CaseRecord::runtime_seconds` is zeroed).
 fn run_job(
     method: &dyn Method,
-    case: &PreparedCase,
+    case: &Case,
+    slot: &CaseSlot,
     options: &RunOptions,
     task: Option<u64>,
 ) -> JobRecord {
@@ -320,23 +387,71 @@ fn run_job(
     let _ = tpl_trace::take_panic_span();
     let task_guard = task.map(tpl_trace::task);
     let started = Instant::now();
-    let result = catch_unwind(AssertUnwindSafe(|| {
-        let _execute_span = tpl_trace::span!("harness.execute");
-        method.run(case)
-    }));
+
+    let ladder = Degradation::ladder();
+    let mut best: Option<(CaseRecord, Degradation)> = None;
+    let mut last_failure: Option<(String, Option<String>)> = None;
+    let mut attempts = 0;
+    for &rung in &ladder {
+        attempts += 1;
+        let prepared = PreparedCase {
+            case,
+            slot,
+            net_jobs: options.net_jobs.max(1),
+            a_star: options.a_star,
+            bucket_queue: options.bucket_queue,
+            degradation: rung,
+            max_search_nodes: options.max_search_nodes,
+            deadline_seconds: options.deadline_seconds,
+        };
+        // Every attempt runs under its own fault scope, so a seeded fault
+        // plan that crashes attempt 1 does not automatically crash the
+        // retries — exactly the recovery path the ladder exists to exercise.
+        let scope_label = format!("{}/{}/a{}", method.name(), case.name(), attempts);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let _fault_scope = tpl_fault::scope(&scope_label);
+            let _execute_span = tpl_trace::span!("harness.execute");
+            tpl_fault::point!("harness.execute");
+            method.run(&prepared)
+        }));
+        match result {
+            Ok(record) => {
+                let done = record.outcome.is_complete()
+                    || record.outcome == Outcome::Aborted(StopReason::Cancelled);
+                let better = match &best {
+                    None => true,
+                    Some((kept, _)) => record.outcome < kept.outcome,
+                };
+                if better {
+                    best = Some((record, rung));
+                }
+                if done {
+                    break;
+                }
+            }
+            Err(payload) => {
+                last_failure = Some((
+                    panic_message(payload.as_ref()),
+                    tpl_trace::take_panic_span().map(str::to_string),
+                ));
+            }
+        }
+    }
+
     let wall_seconds = started.elapsed().as_secs_f64();
     drop(task_guard);
-    let outcome = match result {
-        Ok(mut record) => {
+    let (outcome, degradation) = match best {
+        Some((mut record, rung)) => {
             if options.deterministic {
                 record.runtime_seconds = 0.0;
             }
-            JobOutcome::Ok(record)
+            (JobOutcome::Ok(record), rung)
         }
-        Err(payload) => JobOutcome::Failed {
-            error: panic_message(payload.as_ref()),
-            phase: tpl_trace::take_panic_span().map(str::to_string),
-        },
+        None => {
+            let (error, phase) = last_failure
+                .unwrap_or_else(|| ("job produced neither record nor panic".to_string(), None));
+            (JobOutcome::Failed { error, phase }, ladder[attempts - 1])
+        }
     };
     let phases = task.and_then(|id| {
         let mut phases = tpl_trace::take_task_phases(id)?;
@@ -348,10 +463,12 @@ fn run_job(
     });
     JobRecord {
         method: method.name().to_string(),
-        case: case.case().name().to_string(),
+        case: case.name().to_string(),
         outcome,
         wall_seconds,
         phases,
+        attempts,
+        degradation,
     }
 }
 
@@ -417,6 +534,56 @@ mod tests {
             assert!(!name.contains(self.substring), "injected failure on {name}");
             CaseRecord {
                 case: name.to_string(),
+                ..CaseRecord::default()
+            }
+        }
+    }
+
+    /// Panics on the first `failures` calls per instance, then succeeds,
+    /// reporting which degradation rung the successful attempt ran at.
+    struct FlakyStub {
+        failures: usize,
+        calls: AtomicUsize,
+    }
+
+    impl Method for FlakyStub {
+        fn name(&self) -> &'static str {
+            "flaky"
+        }
+
+        fn description(&self) -> &'static str {
+            "test stub that recovers after a bounded number of panics"
+        }
+
+        fn run(&self, case: &PreparedCase) -> CaseRecord {
+            let call = self.calls.fetch_add(1, Ordering::Relaxed);
+            assert!(call >= self.failures, "transient failure #{call}");
+            CaseRecord {
+                case: case.case().name().to_string(),
+                conflicts: case.degradation() as usize,
+                ..CaseRecord::default()
+            }
+        }
+    }
+
+    /// Always returns a budget-degraded record, so the ladder never stops
+    /// early and every rung is tried.
+    struct AlwaysDegraded;
+
+    impl Method for AlwaysDegraded {
+        fn name(&self) -> &'static str {
+            "degraded"
+        }
+
+        fn description(&self) -> &'static str {
+            "test stub whose records always report a budget trip"
+        }
+
+        fn run(&self, case: &PreparedCase) -> CaseRecord {
+            CaseRecord {
+                case: case.case().name().to_string(),
+                conflicts: case.degradation() as usize,
+                outcome: Outcome::Degraded(StopReason::SearchNodes),
                 ..CaseRecord::default()
             }
         }
@@ -518,6 +685,48 @@ mod tests {
         for record in records {
             assert_eq!(record.record().unwrap().runtime_seconds, 0.0);
         }
+    }
+
+    #[test]
+    fn a_flaky_job_recovers_on_a_ladder_retry() {
+        let flaky = FlakyStub {
+            failures: 1,
+            calls: AtomicUsize::new(0),
+        };
+        let records = run_matrix(&[&flaky], &tiny_cases(1), &RunOptions::default());
+        assert_eq!(records.len(), 1);
+        let record = records[0].record().expect("retry should have succeeded");
+        assert_eq!(records[0].attempts, 2);
+        assert_eq!(records[0].degradation, Degradation::NoAStar);
+        assert_eq!(record.conflicts, Degradation::NoAStar as usize);
+    }
+
+    #[test]
+    fn a_degraded_job_tries_every_rung_and_keeps_the_earliest() {
+        let records = run_matrix(&[&AlwaysDegraded], &tiny_cases(1), &RunOptions::default());
+        assert_eq!(records.len(), 1);
+        let record = records[0].record().expect("degraded records are kept");
+        assert_eq!(records[0].attempts, Degradation::ladder().len());
+        // All rungs tied on outcome, so the first (least degraded) record wins.
+        assert_eq!(records[0].degradation, Degradation::None);
+        assert_eq!(record.conflicts, Degradation::None as usize);
+        assert_eq!(record.outcome, Outcome::Degraded(StopReason::SearchNodes));
+    }
+
+    #[test]
+    fn an_exhausted_ladder_reports_the_last_rung() {
+        let flaky = FlakyStub {
+            failures: usize::MAX,
+            calls: AtomicUsize::new(0),
+        };
+        let records = run_matrix(&[&flaky], &tiny_cases(1), &RunOptions::default());
+        assert_eq!(records.len(), 1);
+        assert!(records[0].error().unwrap().contains("transient failure"));
+        assert_eq!(records[0].attempts, Degradation::ladder().len());
+        assert_eq!(
+            records[0].degradation,
+            *Degradation::ladder().last().unwrap()
+        );
     }
 
     #[test]

@@ -10,8 +10,8 @@ use proptest::prelude::*;
 use std::sync::{Mutex, MutexGuard};
 use tpl_harness::json::JsonValue;
 use tpl_harness::{
-    run_matrix, InputProvenance, Method, MethodRegistry, PreparedCase, RunOptions, RunReport,
-    TaskPhases,
+    run_matrix, Degradation, InputProvenance, Method, MethodRegistry, PreparedCase, RunOptions,
+    RunReport, TaskPhases,
 };
 use tpl_ispd::{run_suite, Suite};
 use tpl_metrics::CaseRecord;
@@ -156,6 +156,81 @@ fn real_flow_phases_match_between_worker_counts() {
         }
     }
     tpl_trace::disable();
+}
+
+/// A stub that panics inside its own distinctly-named innermost span, so
+/// attribution mix-ups between concurrent jobs are detectable.
+struct PanicsInOwnSpan {
+    name: &'static str,
+    span: &'static str,
+}
+
+impl Method for PanicsInOwnSpan {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn description(&self) -> &'static str {
+        "crashes inside a method-specific span"
+    }
+
+    fn run(&self, _case: &PreparedCase) -> CaseRecord {
+        let _outer = tpl_trace::span!("stub.outer");
+        let _inner = tpl_trace::span(self.span);
+        panic!("synthetic crash in {}", self.span);
+    }
+}
+
+#[test]
+fn concurrent_failures_each_carry_their_own_innermost_phase() {
+    let _guard = trace_lock();
+    tpl_trace::enable();
+    // Three always-crashing methods with distinct innermost spans over two
+    // cases, four workers: six failing jobs racing on panic-span capture.
+    // Each failed record must name its own method's span — never a sibling's
+    // and never the outer span.
+    let crashers = [
+        PanicsInOwnSpan {
+            name: "crash-a",
+            span: "stub.crash_a",
+        },
+        PanicsInOwnSpan {
+            name: "crash-b",
+            span: "stub.crash_b",
+        },
+        PanicsInOwnSpan {
+            name: "crash-c",
+            span: "stub.crash_c",
+        },
+    ];
+    let methods: Vec<&dyn Method> = crashers.iter().map(|c| c as &dyn Method).collect();
+    let cases = run_suite(Suite::Ispd18, &[1, 2], 0.25);
+    let records = run_matrix(
+        &methods,
+        &cases,
+        &RunOptions {
+            jobs: 4,
+            deterministic: true,
+            trace: true,
+            ..RunOptions::default()
+        },
+    );
+    tpl_trace::disable();
+    assert_eq!(records.len(), 6);
+    for record in &records {
+        let crasher = crashers
+            .iter()
+            .find(|c| c.name == record.method)
+            .expect("record names a known method");
+        assert_eq!(
+            record.failure_phase(),
+            Some(crasher.span),
+            "method {}",
+            record.method
+        );
+        // An unconditional panic exhausts the whole degradation ladder.
+        assert_eq!(record.attempts, Degradation::ladder().len());
+    }
 }
 
 #[test]

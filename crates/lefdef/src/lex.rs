@@ -9,6 +9,15 @@
 use crate::ParseError;
 use tpl_geom::Dbu;
 
+/// The largest coordinate/distance magnitude the subset accepts, in
+/// database units (±2^40 ≈ 1.1 × 10^12, i.e. a die around a kilometre at
+/// 1000 units per micron).  Anything a real design could need fits with
+/// orders of magnitude to spare, and bounding every parsed number here
+/// means downstream arithmetic — placement translation, wire line caps,
+/// pitch maths — can never overflow an `i64`, so pathological inputs fail
+/// as positioned parse errors instead of panicking or wrapping.
+pub const COORD_LIMIT: Dbu = 1 << 40;
+
 /// One token with its source position.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Token<'a> {
@@ -125,12 +134,24 @@ impl<'a> Cursor<'a> {
         Ok(t)
     }
 
-    /// Consumes a token as a signed integer (DEF database units).
+    /// Consumes a token as a signed integer (DEF database units), bounded
+    /// by [`COORD_LIMIT`] so no accepted value can overflow later maths.
     pub fn int(&mut self, what: &str) -> Result<Dbu, ParseError> {
         let t = self.word(what)?;
-        t.text
+        let value = t
+            .text
             .parse::<Dbu>()
-            .map_err(|_| err_at(t, format!("expected {what} (integer), found `{}`", t.text)))
+            .map_err(|_| err_at(t, format!("expected {what} (integer), found `{}`", t.text)))?;
+        if value.checked_abs().is_none_or(|v| v > COORD_LIMIT) {
+            return Err(err_at(
+                t,
+                format!(
+                    "{what} `{}` is out of range (at most ±2^40 database units)",
+                    t.text
+                ),
+            ));
+        }
+        Ok(value)
     }
 
     /// Consumes a token as an exact decimal micron value, scaled to database
@@ -209,6 +230,7 @@ pub fn parse_microns(text: &str, dbu_per_micron: Dbu) -> Result<Dbu, String> {
     int_value
         .checked_mul(dbu_per_micron)
         .and_then(|v| v.checked_add(frac_value))
+        .filter(|v| *v <= COORD_LIMIT)
         .map(|v| sign * v)
         .ok_or_else(|| format!("number `{text}` is out of range"))
 }

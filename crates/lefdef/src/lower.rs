@@ -77,7 +77,11 @@ pub fn lower(lef: &LefLibrary, def: &DefDesign) -> Result<LoweredDesign, LefDefE
         })
         .collect();
     let min_pitch = lef.layers.iter().map(|l| l.pitch).min().unwrap_or(1);
-    let dcolor = lef.dcolor.unwrap_or(2 * min_pitch + min_pitch / 4);
+    // Saturating: parsed pitches are bounded, but a hand-built library with
+    // an absurd pitch should fail technology validation, not overflow here.
+    let dcolor = lef
+        .dcolor
+        .unwrap_or_else(|| min_pitch.saturating_mul(2).saturating_add(min_pitch / 4));
     let tech = Technology::new(layers, dcolor, lef.dbu_per_micron)?;
     let layer_ids: HashMap<&str, u32> = lef
         .layers
@@ -114,7 +118,10 @@ pub fn lower(lef: &LefLibrary, def: &DefDesign) -> Result<LoweredDesign, LefDefE
         let mut shapes: Vec<(LayerId, Rect)> = Vec::new();
         for (layer, rect) in &pin.shapes {
             let id = layer_id(layer, &format!("pin {}", pin.name))?;
-            shapes.push((LayerId::new(id), translate(*rect, pin.at)));
+            shapes.push((
+                LayerId::new(id),
+                translate(*rect, pin.at, &format!("pin {}", pin.name))?,
+            ));
         }
         if let Some(seen) = referenced.get_mut(pin.name.as_str()) {
             if shapes.is_empty() {
@@ -143,7 +150,10 @@ pub fn lower(lef: &LefLibrary, def: &DefDesign) -> Result<LoweredDesign, LefDefE
             let mut shapes: Vec<(LayerId, Rect)> = Vec::new();
             for (layer, rect) in &pin.ports {
                 let id = layer_id(layer, &format!("macro pin {name}"))?;
-                shapes.push((LayerId::new(id), translate(*rect, comp.at)));
+                shapes.push((
+                    LayerId::new(id),
+                    translate(*rect, comp.at, &format!("macro pin {name}"))?,
+                ));
             }
             if let Some(seen) = referenced.get_mut(name.as_str()) {
                 if shapes.is_empty() {
@@ -204,7 +214,10 @@ pub fn lower(lef: &LefLibrary, def: &DefDesign) -> Result<LoweredDesign, LefDefE
         let mac = macros[comp.macro_name.as_str()];
         for (layer, rect) in &mac.obs {
             let id = layer_id(layer, &format!("macro {} OBS", mac.name))?;
-            builder.add_blockage(id, translate(*rect, comp.at));
+            builder.add_blockage(
+                id,
+                translate(*rect, comp.at, &format!("macro {} OBS", mac.name))?,
+            );
         }
     }
 
@@ -277,14 +290,22 @@ fn check_axis_aligned(a: Point, b: Point, what: &str) -> Result<(), LefDefError>
     }
 }
 
-/// Shifts a rectangle by a placement point.
-fn translate(rect: Rect, by: Point) -> Rect {
-    Rect::from_coords(
-        rect.lo.x + by.x,
-        rect.lo.y + by.y,
-        rect.hi.x + by.x,
-        rect.hi.y + by.y,
-    )
+/// Shifts a rectangle by a placement point, with checked arithmetic: the
+/// parsers bound every coordinate to ±2^40, but `lower` is also a public
+/// entry point for hand-built [`DefDesign`]s, so an overflowing placement
+/// must come back as an error rather than a panic (debug) or a silently
+/// wrapped rectangle (release).
+fn translate(rect: Rect, by: Point, what: &str) -> Result<Rect, LefDefError> {
+    let add = |a: i64, b: i64| {
+        a.checked_add(b)
+            .ok_or_else(|| lower_err(format!("{what}: placement overflows a coordinate")))
+    };
+    Ok(Rect::from_coords(
+        add(rect.lo.x, by.x)?,
+        add(rect.lo.y, by.y)?,
+        add(rect.hi.x, by.x)?,
+        add(rect.hi.y, by.y)?,
+    ))
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@
 //! `Result`, with an in-bounds position on `Err`" — the point is the
 //! absence of panics and of out-of-range line/column numbers.
 
+use proptest::prelude::*;
 use tpl_lefdef::{parse_def, parse_lef, ParseError};
 
 const GOOD_LEF: &str = "\
@@ -384,6 +385,135 @@ END DESIGN
     let err = parse_def(src).unwrap_err();
     assert!(err.message.contains("integer"), "{err}");
     assert_eq!((err.line, err.col), (3, 19), "{err}");
+}
+
+#[test]
+fn oversized_coordinates_are_positioned_errors_not_overflows() {
+    // Within i64 but beyond the ±2^40 coordinate limit: rejected at parse
+    // time, long before placement translation or line caps could wrap.
+    let src = "\
+DESIGN d ;
+UNITS DISTANCE MICRONS 1000 ;
+DIEAREA ( 0 0 ) ( 4000000000000000000 9 ) ;
+END DESIGN
+";
+    let err = parse_def(src).unwrap_err();
+    assert!(err.message.contains("out of range"), "{err}");
+    assert_eq!((err.line, err.col), (3, 19), "{err}");
+
+    // i64::MIN parses as an i64 but has no absolute value.
+    let src = src.replace("4000000000000000000", "-9223372036854775808");
+    let err = parse_def(&src).unwrap_err();
+    assert!(err.message.contains("out of range"), "{err}");
+
+    // LEF micron distances are bounded by the same limit after scaling.
+    let lef = "\
+UNITS
+  DATABASE MICRONS 1000 ;
+END UNITS
+LAYER M1
+  TYPE ROUTING ;
+  DIRECTION HORIZONTAL ;
+  PITCH 99999999999999 ;
+  WIDTH 0.008 ;
+  SPACING 0.008 ;
+END M1
+END LIBRARY
+";
+    let err = parse_lef(lef).unwrap_err();
+    assert!(err.message.contains("out of range"), "{err}");
+    assert_eq!((err.line, err.col), (7, 9), "{err}");
+}
+
+#[test]
+fn overflowing_placement_is_a_lowering_error_not_a_panic() {
+    // Bypasses the parsers' coordinate bound to prove `lower` itself is
+    // overflow-safe for hand-built inputs.
+    let lef = parse_lef(GOOD_LEF).unwrap();
+    let mut def = parse_def(GOOD_DEF).unwrap();
+    def.components[0].at = tpl_geom::Point::new(i64::MAX - 1, 0);
+    let err = tpl_lefdef::lower(&lef, &def).unwrap_err();
+    assert!(err.to_string().contains("overflow"), "{err}");
+}
+
+#[test]
+fn pathologically_long_and_nested_inputs_never_blow_the_stack() {
+    // The parsers are iterative, so depth and length cost memory, not stack.
+    // A wall of unclosed parens must come back as a plain positioned error.
+    let mut src = String::from("DESIGN d ;\nUNITS DISTANCE MICRONS 1000 ;\nDIEAREA ");
+    src.push_str(&"( ".repeat(100_000));
+    assert!(parse_def(&src).is_err());
+
+    // A very long (valid) routed net parses fine; a truncated version of it
+    // errors in-bounds instead of overflowing anything.
+    let mut long = String::from(
+        "DESIGN d ;\nUNITS DISTANCE MICRONS 1000 ;\nDIEAREA ( 0 0 ) ( 4000000 4000000 ) ;\n\
+         PINS 2 ;\n- a + NET n0 + LAYER M1 ( 0 0 ) ( 8 8 ) ;\n\
+         - b + NET n0 + LAYER M1 ( 200000 0 ) ( 200008 8 ) ;\nEND PINS\n\
+         NETS 1 ;\n- n0 ( PIN a ) ( PIN b )\n  + ROUTED M1 ( 0 4 ) ( 10 4 )\n",
+    );
+    for i in 1..20_000u64 {
+        long.push_str(&format!(
+            "    NEW M1 ( {} 4 ) ( {} 4 )\n",
+            i * 10,
+            (i + 1) * 10
+        ));
+    }
+    long.push_str(" ;\nEND NETS\nEND DESIGN\n");
+    let parsed = parse_def(&long).expect("a long routed net is valid input");
+    assert_eq!(parsed.nets[0].routed.len(), 20_000);
+    let truncated = &long[..long.len() / 2];
+    let err = parse_def(truncated).unwrap_err();
+    assert!(err.line <= truncated.lines().count().max(1), "{err}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary printable garbage spliced anywhere into either good source
+    /// yields Ok or an in-bounds positioned error — never a panic.
+    #[test]
+    fn random_splices_never_panic(
+        lef_side in any::<bool>(),
+        cut in any::<u64>(),
+        garbage_bytes in prop::collection::vec(0x20u8..0x7f, 0..32),
+    ) {
+        let source = if lef_side { GOOD_LEF } else { GOOD_DEF };
+        // ASCII sources: every byte offset is a char boundary.
+        let at = (cut % (source.len() as u64 + 1)) as usize;
+        let garbage = String::from_utf8(garbage_bytes).unwrap();
+        let src = format!("{}{}{}", &source[..at], garbage, &source[at..]);
+        let err = if lef_side {
+            parse_lef(&src).map(|_| ()).err()
+        } else {
+            parse_def(&src).map(|_| ()).err()
+        };
+        if let Some(err) = err {
+            let lines = src.lines().count().max(1);
+            prop_assert!(err.line >= 1 && err.line <= lines, "line {} for: {err}", err.line);
+            prop_assert!(err.col >= 1, "col {} for: {err}", err.col);
+        }
+    }
+
+    /// Oversized numeric tokens anywhere in the DEF either fail the parse
+    /// with a positioned error or (when the slot is a name) flow through
+    /// parse → lower without overflowing.
+    #[test]
+    fn huge_numbers_never_overflow_the_pipeline(
+        value in (1i64 << 40) + 1..i64::MAX,
+        negate in any::<bool>(),
+        token in any::<u64>(),
+    ) {
+        let tokens: Vec<&str> = GOOD_DEF.split_whitespace().collect();
+        let idx = (token % tokens.len() as u64) as usize;
+        let mut mutated: Vec<String> = tokens.iter().map(|s| s.to_string()).collect();
+        mutated[idx] = if negate { format!("-{value}") } else { value.to_string() };
+        let src = mutated.join(" ");
+        if let Ok(def) = parse_def(&src) {
+            let lef = parse_lef(GOOD_LEF).unwrap();
+            let _ = tpl_lefdef::lower(&lef, &def);
+        }
+    }
 }
 
 #[test]

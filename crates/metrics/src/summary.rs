@@ -1,5 +1,7 @@
 //! Per-case records and suite-level summaries.
 
+use tpl_grid::Outcome;
+
 /// The evaluation record of one benchmark case for one method.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct CaseRecord {
@@ -24,6 +26,10 @@ pub struct CaseRecord {
     pub search_nodes: usize,
     /// Rip-up-and-reroute iterations executed (`0` for single-pass methods).
     pub rrr_iterations: usize,
+    /// How the routing run ended: `Complete` (the default), `Degraded` after
+    /// a search-node budget trip (the record then describes a best-so-far
+    /// partial solution), or `Aborted` on deadline/cancellation.
+    pub outcome: Outcome,
 }
 
 /// Relative improvement of `ours` over `baseline`, in percent.

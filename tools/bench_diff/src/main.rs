@@ -408,6 +408,21 @@ fn render_table(rows: &[[String; 5]]) -> String {
     out
 }
 
+/// Reads and parses one report, failing with the path (and, for corrupt
+/// JSON, the 1-based line:column) in the message — a missing or truncated
+/// committed baseline must be a clear exit-2 diagnostic, never a panic or a
+/// bare byte offset.
+fn load_report(path: &str) -> Result<JsonValue, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read report `{path}`: {e}"))?;
+    let report = JsonValue::parse(&text)
+        .map_err(|e| format!("{path}:{}:{}: invalid JSON: {}", e.line, e.col, e.message))?;
+    // Reject structurally wrong documents up front so every later error can
+    // assume a well-formed report.
+    records_by_key(&report).map_err(|e| format!("{path}: not a bench report: {e}"))?;
+    Ok(report)
+}
+
 fn run(args: &[String]) -> Result<(Vec<Problem>, Option<String>), String> {
     let mut paths = Vec::new();
     let mut options = DiffOptions {
@@ -471,11 +486,8 @@ fn run(args: &[String]) -> Result<(Vec<Problem>, Option<String>), String> {
     let [baseline_path, new_path] = paths.as_slice() else {
         return Err(USAGE.to_string());
     };
-    let read =
-        |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
-    let baseline =
-        JsonValue::parse(&read(baseline_path)?).map_err(|e| format!("{baseline_path}: {e}"))?;
-    let new = JsonValue::parse(&read(new_path)?).map_err(|e| format!("{new_path}: {e}"))?;
+    let baseline = load_report(baseline_path)?;
+    let new = load_report(new_path)?;
     let problems = diff_reports(&baseline, &new, &options)?;
     let rendered_table = if table {
         Some(render_table(&comparison_rows(&baseline, &new)?))
@@ -891,6 +903,59 @@ mod tests {
         .unwrap_err();
         assert!(err.contains("unknown --require-improvement"));
         assert!(err.contains("search_nodes"));
+    }
+
+    /// A scratch file deleted on drop, so baseline-loading tests can feed
+    /// `run` real paths without leaving droppings behind.
+    struct ScratchFile(std::path::PathBuf);
+
+    impl ScratchFile {
+        fn new(name: &str, contents: &str) -> Self {
+            let path =
+                std::env::temp_dir().join(format!("bench_diff_{}_{name}", std::process::id()));
+            std::fs::write(&path, contents).expect("write scratch report");
+            ScratchFile(path)
+        }
+
+        fn path(&self) -> String {
+            self.0.display().to_string()
+        }
+    }
+
+    impl Drop for ScratchFile {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    #[test]
+    fn a_missing_baseline_is_a_clear_error_with_the_path() {
+        let missing = "/nonexistent/BENCH_none.json";
+        let err = run(&[missing.to_string(), missing.to_string()]).unwrap_err();
+        assert!(err.contains("cannot read report"), "{err}");
+        assert!(err.contains(missing), "{err}");
+    }
+
+    #[test]
+    fn a_corrupt_baseline_is_a_positioned_error_not_a_panic() {
+        // A truncated BENCH_*.json, as a botched merge would leave it.
+        let corrupt = ScratchFile::new("corrupt.json", "{\n  \"records\": [\n    {\"method\": }\n");
+        let good = ScratchFile::new("good.json", &report(&[]).render());
+        let err = run(&[corrupt.path(), good.path()]).unwrap_err();
+        assert!(err.contains(&corrupt.path()), "{err}");
+        assert!(err.contains(":3:"), "no line:col position: {err}");
+        assert!(err.contains("invalid JSON"), "{err}");
+        // Same diagnostic when the corrupt file is the new report.
+        let err = run(&[good.path(), corrupt.path()]).unwrap_err();
+        assert!(err.contains(&corrupt.path()), "{err}");
+    }
+
+    #[test]
+    fn a_baseline_that_is_not_a_report_names_the_path_and_problem() {
+        let not_report = ScratchFile::new("not_report.json", "{\"totals\": {}}\n");
+        let err = run(&[not_report.path(), not_report.path()]).unwrap_err();
+        assert!(err.contains(&not_report.path()), "{err}");
+        assert!(err.contains("no `records` array"), "{err}");
     }
 
     #[test]

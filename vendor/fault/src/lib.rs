@@ -1,0 +1,291 @@
+//! Vendored zero-dependency deterministic fault injection.
+//!
+//! The build environment has no crates.io access, so this crate stands in
+//! for the slice of `fail`/`failpoint` the robustness tests need: named
+//! fault points compiled into the production code that, under an installed
+//! seeded fault plan, deterministically inject panics, small delays, or
+//! budget exhaustion — and cost one relaxed atomic load when no plan is
+//! installed.
+//!
+//! # Model
+//!
+//! * **Plans.** [`install`] arms a plan from a `u64` seed; [`clear`] disarms
+//!   it.  Whether a given point fires, and what it injects, is a pure hash
+//!   of `(seed, site, scope, key)` — there are **no global hit counters**,
+//!   so the decision is independent of thread interleaving and worker
+//!   count.  Two runs of the same work under the same seed inject exactly
+//!   the same faults.
+//! * **Sites.** [`point!`] names a site (co-located with the `tpl-trace`
+//!   span taxonomy: `core.route_net`, `global.round`, `harness.execute`,
+//!   ...).  An optional integer key salts the decision per work item
+//!   (`point!("core.route_net", net_id)`), so a plan fails *some* nets of a
+//!   case rather than all of them.
+//! * **Scopes.** A thread-local scope string ([`scope`]) distinguishes
+//!   logical execution contexts that share sites — the harness sets
+//!   `"{method}/{case}/a{attempt}"` per attempt, so a retry under the
+//!   degradation ladder deterministically escapes the faults of the
+//!   previous attempt.  Thread pools capture the submitter's scope with
+//!   [`current_scope`] and re-establish it on workers with
+//!   [`propagate_scope`], exactly like `tpl-trace` task attribution.
+//! * **Actions.** A firing point either panics (with a deterministic
+//!   message naming site, scope, key and seed) or sleeps 1–3 ms (wall
+//!   clock only — deterministic reports are unaffected).  Separately,
+//!   [`trips_budget`] is queried at budget-arming sites and, when it fires,
+//!   pre-exhausts the route budget — exercising the `Degraded` path and the
+//!   harness's retry ladder without a real runaway search.
+//!
+//! With no plan installed every entry point is a single
+//! `Ordering::Relaxed` load and a branch; no allocation, no hashing, no
+//! TLS access.
+
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Per-mille rate of panic injection at a firing [`point!`].
+const PANIC_PER_MILLE: u64 = 40;
+/// Per-mille rate of delay injection at a firing [`point!`] (on top of the
+/// panic band).
+const DELAY_PER_MILLE: u64 = 50;
+/// Per-mille rate of budget trips at a [`trips_budget`] site.
+const TRIP_PER_MILLE: u64 = 150;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SEED: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static SCOPE: RefCell<Arc<str>> = RefCell::new(Arc::from(""));
+}
+
+/// Arms fault injection with the plan derived from `seed`.  Every
+/// subsequent fault-point decision in the process is a pure function of
+/// `(seed, site, scope, key)`.
+pub fn install(seed: u64) {
+    SEED.store(seed, Ordering::SeqCst);
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Disarms fault injection; every point becomes a no-op branch again.
+pub fn clear() {
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+/// `true` while a fault plan is installed.  One relaxed atomic load — the
+/// only cost instrumented code pays when injection is off.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The installed plan's seed, if any.
+pub fn seed() -> Option<u64> {
+    enabled().then(|| SEED.load(Ordering::Relaxed))
+}
+
+/// Guard restoring the previous fault scope on drop.
+#[must_use = "dropping the guard immediately restores the previous scope"]
+pub struct ScopeGuard {
+    prev: Arc<str>,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        SCOPE.with(|s| *s.borrow_mut() = std::mem::replace(&mut self.prev, Arc::from("")));
+    }
+}
+
+/// Sets this thread's fault scope until the guard drops.  Scopes label the
+/// logical execution context (`"{method}/{case}/a{attempt}"` in the
+/// harness) so identical sites in different contexts decide independently
+/// — and deterministically, whatever thread runs them.
+pub fn scope(label: &str) -> ScopeGuard {
+    propagate_scope(Arc::from(label))
+}
+
+/// The current fault scope, for propagation onto pool workers.
+pub fn current_scope() -> Arc<str> {
+    SCOPE.with(|s| s.borrow().clone())
+}
+
+/// Re-establishes a captured fault scope on this thread (thread pools call
+/// this around each task closure, mirroring `tpl_trace::propagate_task`).
+pub fn propagate_scope(scope: Arc<str>) -> ScopeGuard {
+    ScopeGuard {
+        prev: SCOPE.with(|s| std::mem::replace(&mut *s.borrow_mut(), scope)),
+    }
+}
+
+/// FNV-1a over the decision inputs: pure, order-free, interleaving-free.
+fn decision_hash(kind: u8, site: &str, key: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(&[kind]);
+    eat(&SEED.load(Ordering::Relaxed).to_le_bytes());
+    eat(site.as_bytes());
+    eat(&[0xfe]);
+    SCOPE.with(|s| eat(s.borrow().as_bytes()));
+    eat(&[0xfe]);
+    eat(&key.to_le_bytes());
+    h
+}
+
+/// Evaluates a named fault point (prefer the [`point!`] macro, which hides
+/// the enabled check).  Depending on the plan this panics with a
+/// deterministic message, sleeps 1–3 ms, or does nothing.
+pub fn hit(site: &'static str, key: u64) {
+    if !enabled() {
+        return;
+    }
+    let roll = decision_hash(0, site, key) % 1000;
+    if roll < PANIC_PER_MILLE {
+        let scope = current_scope();
+        let seed = SEED.load(Ordering::Relaxed);
+        panic!("fault injected at {site} (scope `{scope}`, key {key}, seed {seed})");
+    } else if roll < PANIC_PER_MILLE + DELAY_PER_MILLE {
+        std::thread::sleep(Duration::from_millis(1 + roll % 3));
+    }
+}
+
+/// `true` when the plan injects budget exhaustion at this site (queried
+/// once where a route budget is armed; a trip behaves exactly like a
+/// zero-node budget, driving the `Degraded` outcome path).
+pub fn trips_budget(site: &'static str) -> bool {
+    enabled() && decision_hash(1, site, 0) % 1000 < TRIP_PER_MILLE
+}
+
+/// Evaluates a named fault point: `point!("core.route")` or, salted per
+/// work item, `point!("core.route_net", net_id)`.  Compiles to one relaxed
+/// atomic load and a branch when no plan is installed.
+#[macro_export]
+macro_rules! point {
+    ($site:literal) => {
+        if $crate::enabled() {
+            $crate::hit($site, 0);
+        }
+    };
+    ($site:literal, $key:expr) => {
+        if $crate::enabled() {
+            $crate::hit($site, $key as u64);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::catch_unwind;
+
+    /// Plan state is process-global; tests serialise on this.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// The lowest seed whose plan panics at `site` under `scope_label`.
+    fn panicking_seed(site: &'static str, scope_label: &str) -> u64 {
+        let _s = scope(scope_label);
+        (0..10_000)
+            .find(|&seed| {
+                install(seed);
+                let fired = catch_unwind(|| hit(site, 0)).is_err();
+                clear();
+                fired
+            })
+            .expect("some seed panics at the site")
+    }
+
+    #[test]
+    fn disabled_points_do_nothing() {
+        let _serial = serial();
+        clear();
+        assert!(!enabled());
+        assert_eq!(seed(), None);
+        for _ in 0..100 {
+            point!("test.site");
+            assert!(!trips_budget("test.site"));
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_seed_site_scope_key() {
+        let _serial = serial();
+        let seed = panicking_seed("test.det", "m/c/a1");
+        install(seed);
+        let _s = scope("m/c/a1");
+        for _ in 0..3 {
+            let err = catch_unwind(|| hit("test.det", 0)).expect_err("same inputs, same fault");
+            let msg = err.downcast_ref::<String>().expect("string panic payload");
+            assert!(msg.contains("test.det"), "message names the site: {msg}");
+            assert!(msg.contains("m/c/a1"), "message names the scope: {msg}");
+            assert!(msg.contains(&format!("seed {seed}")));
+        }
+        clear();
+    }
+
+    #[test]
+    fn scope_and_key_change_the_decision_independently() {
+        let _serial = serial();
+        let seed = panicking_seed("test.salt", "m/c/a1");
+        install(seed);
+        let escapes_by_scope = (2..200).any(|a| {
+            let _s = scope(&format!("m/c/a{a}"));
+            catch_unwind(|| hit("test.salt", 0)).is_ok()
+        });
+        let escapes_by_key = {
+            let _s = scope("m/c/a1");
+            (1..200).any(|k| catch_unwind(|| hit("test.salt", k)).is_ok())
+        };
+        clear();
+        assert!(escapes_by_scope, "a retry scope escapes the fault");
+        assert!(escapes_by_key, "some keys escape the fault");
+    }
+
+    #[test]
+    fn scope_guards_nest_and_propagate() {
+        let _serial = serial();
+        assert_eq!(&*current_scope(), "");
+        {
+            let _outer = scope("outer");
+            assert_eq!(&*current_scope(), "outer");
+            {
+                let _inner = scope("inner");
+                assert_eq!(&*current_scope(), "inner");
+            }
+            assert_eq!(&*current_scope(), "outer");
+            let captured = current_scope();
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    assert_eq!(&*current_scope(), "");
+                    let _p = propagate_scope(captured);
+                    assert_eq!(&*current_scope(), "outer");
+                });
+            });
+        }
+        assert_eq!(&*current_scope(), "");
+    }
+
+    #[test]
+    fn some_seed_trips_and_some_seed_spares_the_budget() {
+        let _serial = serial();
+        let mut tripped = false;
+        let mut spared = false;
+        for seed in 0..200 {
+            install(seed);
+            if trips_budget("test.budget") {
+                tripped = true;
+            } else {
+                spared = true;
+            }
+        }
+        clear();
+        assert!(tripped && spared, "trip rate is neither 0% nor 100%");
+    }
+}

@@ -192,6 +192,7 @@ where
         return Ok(Vec::new());
     }
     let _batch_span = tpl_trace::span!("par.batch", items = items.len());
+    tpl_fault::point!("par.batch");
 
     let workers = par.jobs.min(items.len());
     if workers <= 1 {
@@ -227,6 +228,10 @@ where
     // Task attribution of the submitting thread, re-established on every
     // worker so per-task phase aggregates are independent of `jobs`.
     let submitted = tpl_trace::current_task();
+    // Fault-injection scope propagates the same way: decisions on a worker
+    // hash the scope of the thread that submitted the batch, so a fault plan
+    // fires at the same sites whatever the `jobs` setting.
+    let fault_scope = tpl_fault::enabled().then(tpl_fault::current_scope);
 
     std::thread::scope(|scope| {
         let cursor = &cursor;
@@ -234,12 +239,15 @@ where
         let panics = &panics;
         let init = &init;
         let f = &f;
+        let fault_scope = &fault_scope;
         for slot in pool.slots.iter().take(workers) {
             scope.spawn(move || {
                 {
                     // Worker span stays task-free: worker lifetime depends on
                     // scheduling, not on any task's own work.
                     let _worker_span = tpl_trace::span!("par.worker");
+                    let _fault_scope = fault_scope.clone().map(tpl_fault::propagate_scope);
+                    tpl_fault::point!("par.worker");
                     let mut guard = lock_ignoring_poison(slot);
                     let scratch = guard.get_or_insert_with(&init);
                     let _task = tpl_trace::propagate_task(submitted);
